@@ -1,0 +1,229 @@
+// Command vmsim drives the co-designed VM simulator: it runs individual
+// machine/benchmark combinations or regenerates any table/figure of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	vmsim -exp fig8                      # startup curves with HW assists
+//	vmsim -exp fig9 -scale 25            # per-benchmark breakeven points
+//	vmsim -exp all                       # every experiment, in order
+//	vmsim -exp run -model VM.be -app Word -instrs 20000000
+//
+// Experiments: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold
+// ablation table1 table2 run all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	codesignvm "codesignvm"
+)
+
+var (
+	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist pressure coldstart ctxswitch staged deltasweep dump run all")
+	scaleFlag  = flag.Int("scale", 25, "workload scale divisor (1 = paper-sized)")
+	appsFlag   = flag.String("apps", "", "comma-separated subset of benchmarks (default: all ten)")
+	modelFlag  = flag.String("model", "VM.soft", "machine model for -exp run")
+	appFlag    = flag.String("app", "Word", "benchmark for -exp run")
+	instrsFlag = flag.Uint64("instrs", 0, "instruction budget (default 500M/scale)")
+	seqFlag    = flag.Bool("seq", false, "run benchmarks sequentially")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func options() codesignvm.Options {
+	opt := codesignvm.Options{Scale: *scaleFlag, Sequential: *seqFlag}
+	if *appsFlag != "" {
+		opt.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *instrsFlag > 0 {
+		opt.LongInstrs = *instrsFlag
+		opt.ShortInstrs = *instrsFlag / 5
+	}
+	return opt
+}
+
+func run() error {
+	exps := []string{*expFlag}
+	if *expFlag == "all" {
+		exps = []string{"table2", "table1", "fig3", "overhead", "threshold", "fig2", "fig8", "fig9", "fig10", "fig11", "ablation", "persist", "pressure", "coldstart", "ctxswitch", "staged", "deltasweep"}
+	}
+	for _, exp := range exps {
+		start := time.Now()
+		if err := runOne(exp); err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", exp, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(exp string) error {
+	opt := options()
+	switch exp {
+	case "fig2":
+		rep, err := codesignvm.Figure2(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatStartup(rep, "Fig. 2 — startup: software staged VMs vs reference superscalar\n(normalized aggregate IPC, harmonic mean over benchmarks)"))
+	case "fig3":
+		rep, err := codesignvm.Figure3(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatFig3(rep))
+	case "fig8":
+		rep, err := codesignvm.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatStartup(rep, "Fig. 8 — startup with hardware assists\n(normalized aggregate IPC, harmonic mean over benchmarks)"))
+	case "fig9":
+		rep, err := codesignvm.Figure9(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatFig9(rep))
+	case "fig10":
+		rep, err := codesignvm.Figure10(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatFig10(rep))
+	case "fig11":
+		rep, err := codesignvm.Figure11(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatFig11(rep))
+	case "overhead":
+		rep, err := codesignvm.MeasureOverhead(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatOverhead(rep))
+	case "threshold":
+		fmt.Printf("Eq. 2 — hot threshold N = ΔSBT/(p−1)\n")
+		fmt.Printf("BBT-based (ΔSBT=1200, p=1.15):  N = %.0f\n", codesignvm.HotThreshold(1200, 1.15))
+		fmt.Printf("interpreted (ΔSBT=1200, p=48):  N = %.0f\n", codesignvm.HotThreshold(1200, 48))
+	case "ablation":
+		rep, err := codesignvm.OptimizerAblation(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatAblation(rep))
+	case "table1":
+		rep, err := codesignvm.XLTCharacterization(20000, 2006)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatTable1(rep))
+	case "table2":
+		fmt.Print(codesignvm.FormatTable2())
+	case "persist":
+		rep, err := codesignvm.PersistentStartupExperiment(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatPersist(rep))
+	case "pressure":
+		rep, err := codesignvm.CodeCachePressureExperiment(opt, *appFlag, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatPressure(rep))
+	case "staged":
+		rep, err := codesignvm.StagedComparisonExperiment(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatStartup(rep, "Extension — staged-translation strategies\n(normalized aggregate IPC)"))
+	case "deltasweep":
+		rep, err := codesignvm.DeltaBBTSweepExperiment(opt, *appFlag, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatDelta(rep))
+	case "coldstart":
+		rep, err := codesignvm.ColdStartExperiment(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatColdStart(rep))
+	case "ctxswitch":
+		rep, err := codesignvm.ContextSwitchExperiment(opt, *appFlag, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatSwitch(rep))
+	case "dump":
+		m, err := codesignvm.ModelByName(*modelFlag)
+		if err != nil {
+			return err
+		}
+		txt, err := codesignvm.DumpTranslations(*appFlag, m, *scaleFlag, *instrsFlag, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(txt)
+	case "run":
+		return runSingle(opt)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func runSingle(opt codesignvm.Options) error {
+	m, err := codesignvm.ModelByName(*modelFlag)
+	if err != nil {
+		return err
+	}
+	prog, err := codesignvm.LoadWorkload(*appFlag, *scaleFlag)
+	if err != nil {
+		return err
+	}
+	budget := *instrsFlag
+	if budget == 0 {
+		budget = 500_000_000 / uint64(*scaleFlag)
+	}
+	fmt.Printf("%s on %v: %d static instrs, budget %d\n", *appFlag, m, prog.StaticInstrs, budget)
+	start := time.Now()
+	res, err := codesignvm.Run(m, prog, budget)
+	if err != nil {
+		return err
+	}
+	el := time.Since(start)
+	fmt.Printf("retired %d instructions in %.4g cycles (IPC %.3f) — %.1fM instrs/s wall\n",
+		res.Instrs, res.Cycles, res.IPC(), float64(res.Instrs)/el.Seconds()/1e6)
+	fmt.Printf("steady-state IPC (tail): %.3f   hotspot coverage: %.1f%%\n",
+		codesignvm.SteadyIPC(res.Samples, 0.5), 100*res.HotspotCoverage())
+	fmt.Printf("cycle breakdown:\n")
+	for c := codesignvm.Category(0); c < 7; c++ {
+		if res.Cat[c] > 0 {
+			fmt.Printf("  %-10v %14.4g  (%.1f%%)\n", c, res.Cat[c], 100*res.Cat[c]/res.Cycles)
+		}
+	}
+	fmt.Printf("translations: %d BBT (%d instrs), %d SBT (%d instrs), %d callouts\n",
+		res.BBTTranslations, res.BBTX86Translated, res.SBTTranslations, res.SBTX86Translated, res.Callouts)
+	if res.XltInvocations > 0 {
+		fmt.Printf("XLTx86: %d invocations, %d busy cycles\n", res.XltInvocations, res.XltBusyCycles)
+	}
+	fmt.Println("startup curve (cycles, cumulative instrs, aggregate IPC):")
+	for i := 0; i < len(res.Samples); i += 8 {
+		s := res.Samples[i]
+		fmt.Printf("  %14.4g %14d %8.3f\n", s.Cycles, s.Instrs, s.AggregateIPC())
+	}
+	return nil
+}

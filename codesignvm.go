@@ -1,0 +1,292 @@
+// Package codesignvm is a library-scale reproduction of "Reducing
+// Startup Time in Co-Designed Virtual Machines" (Hu & Smith, ISCA 2006).
+//
+// It implements the paper's entire system stack in pure Go:
+//
+//   - an architected CISC (IA-32 subset) ISA with assembler, decoder and
+//     interpreter;
+//   - the implementation "fusible" micro-op ISA with its 16/32-bit
+//     binary encoding and macro-op fusion rules;
+//   - the staged dynamic binary translation system: basic-block
+//     translator (BBT), superblock translator/optimizer (SBT) with
+//     reorder-and-fuse macro-op pairing (plus optional copy-propagation
+//     and dead-code-elimination extensions), concealed code caches with
+//     chaining and persistence, and the VMM runtime;
+//   - the two proposed hardware assists: the XLTx86 backend functional
+//     unit (Table 1) and the dual-mode frontend decoders, plus the
+//     Merten-style branch behavior buffer used for hotspot detection;
+//   - a persistent-dataflow superscalar timing model with the Table 2
+//     cache hierarchy and branch predictors;
+//   - a synthetic Winstone2004-like workload suite, and one experiment
+//     harness per table/figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	prog, _ := codesignvm.LoadWorkload("Word", 25)
+//	res, _ := codesignvm.Run(codesignvm.VMBE, prog, 20_000_000)
+//	fmt.Printf("aggregate IPC %.3f, hotspot coverage %.1f%%\n",
+//	    res.IPC(), 100*res.HotspotCoverage())
+//
+// The five machine models of the paper are Ref (a conventional
+// superscalar), VMSoft, VMBE, VMFE and VMInterp. Experiment harnesses
+// (Figure2 … Figure11, Overhead, OptimizerAblation, XLTCharacterization)
+// regenerate the paper's tables and figures; see EXPERIMENTS.md for
+// measured-versus-paper results.
+package codesignvm
+
+import (
+	"codesignvm/internal/experiments"
+	"codesignvm/internal/machine"
+	"codesignvm/internal/metrics"
+	"codesignvm/internal/model"
+	"codesignvm/internal/vmm"
+	"codesignvm/internal/workload"
+	"codesignvm/internal/x86"
+)
+
+// Core types of the public API.
+type (
+	// Model names one of the paper's five machine configurations.
+	Model = machine.Model
+	// Config parameterizes a machine (Table 2 plus §3.2 cost constants).
+	Config = vmm.Config
+	// Result is the outcome of one simulation run.
+	Result = vmm.Result
+	// Sample is one point of a startup curve.
+	Sample = vmm.Sample
+	// Category buckets simulated cycles (translation, emulation, VMM…).
+	Category = vmm.Category
+	// Program is a generated benchmark binary plus metadata.
+	Program = workload.Program
+	// WorkloadParams characterizes a synthetic application.
+	WorkloadParams = workload.Params
+	// VM is a single simulated machine instance (for incremental runs).
+	VM = vmm.VM
+	// Options scopes an experiment (scale, trace lengths, apps).
+	Options = experiments.Options
+	// Histogram is the Fig. 3 execution-frequency profile.
+	Histogram = metrics.Histogram
+	// Overhead is the Eq. 1 translation-overhead decomposition.
+	Overhead = model.Overhead
+	// Scenario is one of the §3.1 startup scenarios.
+	Scenario = model.Scenario
+)
+
+// Machine models (Table 2).
+const (
+	Ref      = machine.Ref      // conventional superscalar reference
+	VMSoft   = machine.VMSoft   // software BBT + SBT
+	VMBE     = machine.VMBE     // XLTx86 backend assist + SBT
+	VMFE     = machine.VMFE     // dual-mode frontend decoders + SBT
+	VMInterp = machine.VMInterp // interpretation + SBT (Fig. 2)
+	// VMStaged3 is the Efficeon-style three-stage extension:
+	// interpret → BBT → SBT.
+	VMStaged3 = machine.VMStaged3
+)
+
+// Cycle categories (Fig. 10).
+const (
+	CatBBTXlate = vmm.CatBBTXlate
+	CatSBTXlate = vmm.CatSBTXlate
+	CatBBTEmu   = vmm.CatBBTEmu
+	CatSBTEmu   = vmm.CatSBTEmu
+	CatX86Emu   = vmm.CatX86Emu
+	CatInterp   = vmm.CatInterp
+	CatVMM      = vmm.CatVMM
+)
+
+// Startup scenarios (§3.1).
+const (
+	DiskStartup   = model.DiskStartup
+	MemoryStartup = model.MemoryStartup
+	CodeCacheWarm = model.CodeCacheWarm
+	SteadyState   = model.SteadyState
+)
+
+// Models lists the five machine configurations.
+func Models() []Model {
+	out := make([]Model, 0, machine.NumModels)
+	for m := machine.Model(0); m < machine.NumModels; m++ {
+		out = append(out, m)
+	}
+	return out
+}
+
+// ModelByName resolves "Ref", "VM.soft", "VM.be", "VM.fe" or "VM.interp".
+func ModelByName(name string) (Model, error) { return machine.ByName(name) }
+
+// DefaultConfig returns a model's baseline configuration.
+func DefaultConfig(m Model) Config { return machine.Config(m) }
+
+// Workloads lists the ten Winstone2004-like application names.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadParameters returns the calibrated parameters of a named
+// application.
+func WorkloadParameters(name string) (WorkloadParams, error) { return workload.ByName(name) }
+
+// LoadWorkload generates the named benchmark at the given scale divisor
+// (1 = paper-sized; 25 = default experiment scale).
+func LoadWorkload(name string, scale int) (*Program, error) { return workload.App(name, scale) }
+
+// GenerateWorkload builds a benchmark from explicit parameters.
+func GenerateWorkload(p WorkloadParams, scale int) (*Program, error) {
+	return workload.Generate(p, scale)
+}
+
+// Run simulates prog on model m for up to maxInstrs architected
+// instructions under the paper's memory-startup scenario.
+func Run(m Model, prog *Program, maxInstrs uint64) (*Result, error) {
+	return machine.Run(m, prog, maxInstrs)
+}
+
+// RunConfig simulates with an explicit configuration.
+func RunConfig(cfg Config, prog *Program, maxInstrs uint64) (*Result, error) {
+	return machine.RunConfig(cfg, prog, maxInstrs)
+}
+
+// NewVM builds a VM over the program without running it, for incremental
+// simulation (e.g. flush caches mid-run to study context-switch
+// scenarios).
+func NewVM(m Model, prog *Program) *VM { return machine.NewVM(m, prog) }
+
+// Startup-curve analysis helpers.
+
+// SteadyIPC estimates steady-state IPC from the tail of a run.
+func SteadyIPC(samples []Sample, frac float64) float64 { return metrics.SteadyIPC(samples, frac) }
+
+// Breakeven returns the cycle count at which vm catches ref (Fig. 9).
+func Breakeven(ref, vm []Sample) (float64, bool) { return metrics.Breakeven(ref, vm) }
+
+// InstrsAt interpolates cumulative retired instructions at a cycle count.
+func InstrsAt(samples []Sample, cycles float64) float64 { return metrics.InstrsAt(samples, cycles) }
+
+// HotThreshold evaluates Eq. 2: N = ΔSBT / (p − 1).
+func HotThreshold(deltaSBT, speedup float64) float64 { return model.HotThreshold(deltaSBT, speedup) }
+
+// EstimateScenarioCycles evaluates the §3.1 startup-scenario model.
+func EstimateScenarioCycles(s Scenario, p model.ScenarioParams) float64 {
+	return model.EstimateCycles(s, p)
+}
+
+// ScenarioParams feeds EstimateScenarioCycles.
+type ScenarioParams = model.ScenarioParams
+
+// PaperOverhead returns the §3.2 Eq. 1 constants.
+func PaperOverhead() Overhead { return model.PaperOverhead() }
+
+// Experiment harnesses (one per table/figure; see DESIGN.md §4).
+
+// StartupCurves is the Fig. 2 / Fig. 8 report type.
+type StartupCurves = experiments.StartupCurves
+
+// Figure2 reproduces Fig. 2 (software staged VMs vs the reference).
+func Figure2(opt Options) (*StartupCurves, error) { return experiments.Fig2(opt) }
+
+// Figure3 reproduces Fig. 3 (execution-frequency profile).
+func Figure3(opt Options) (*experiments.Fig3Report, error) { return experiments.Fig3(opt) }
+
+// Figure8 reproduces Fig. 8 (startup with hardware assists).
+func Figure8(opt Options) (*StartupCurves, error) { return experiments.Fig8(opt) }
+
+// Figure9 reproduces Fig. 9 (per-benchmark breakeven points).
+func Figure9(opt Options) (*experiments.Fig9Report, error) { return experiments.Fig9(opt) }
+
+// Figure10 reproduces Fig. 10 (VM.be cycle breakdown).
+func Figure10(opt Options) (*experiments.Fig10Report, error) { return experiments.Fig10(opt) }
+
+// Figure11 reproduces Fig. 11 (x86-decode hardware activity).
+func Figure11(opt Options) (*experiments.Fig11Report, error) { return experiments.Fig11(opt) }
+
+// MeasureOverhead reproduces the §3.2 Eq. 1 measurement.
+func MeasureOverhead(opt Options) (*experiments.OverheadReport, error) {
+	return experiments.Sec32Overhead(opt)
+}
+
+// OptimizerAblation quantifies each SBT optimization pass.
+func OptimizerAblation(opt Options) (*experiments.AblationReport, error) {
+	return experiments.Ablation(opt)
+}
+
+// XLTCharacterization exercises the Table 1 instruction on a random
+// stream.
+func XLTCharacterization(n int, seed int64) (*experiments.Table1Report, error) {
+	return experiments.Table1(n, seed)
+}
+
+// PersistentStartupExperiment measures FX!32-style translation reuse
+// (extension experiment; see DESIGN.md).
+func PersistentStartupExperiment(opt Options) (*experiments.PersistReport, error) {
+	return experiments.PersistentStartup(opt)
+}
+
+// CodeCachePressureExperiment sweeps code-cache capacities (extension
+// experiment quantifying the paper's §1.1 multitasking concern).
+func CodeCachePressureExperiment(opt Options, app string, sizes []uint32) (*experiments.PressureReport, error) {
+	return experiments.CodeCachePressure(opt, app, sizes)
+}
+
+// DumpTranslations renders the hottest translations of a short run as
+// annotated x86→micro-op listings (inspection tooling).
+func DumpTranslations(app string, m Model, scale int, instrs uint64, top int) (string, error) {
+	return experiments.DumpTranslations(app, m, scale, instrs, top)
+}
+
+// ColdStartExperiment runs the OS-boot-like workload across all machine
+// models (§1.1 motivation: cold-code-dominated phases).
+func ColdStartExperiment(opt Options) (*experiments.ColdStartReport, error) {
+	return experiments.ColdStart(opt)
+}
+
+// ContextSwitchExperiment sweeps context-switch frequency (§1.1
+// motivation: multitasking server-like systems).
+func ContextSwitchExperiment(opt Options, app string, periods []uint64) (*experiments.SwitchReport, error) {
+	return experiments.ContextSwitch(opt, app, periods)
+}
+
+// StagedComparisonExperiment compares emulation-staging strategies:
+// interpretation+SBT, three-stage interp→BBT→SBT, and two-stage BBT+SBT.
+func StagedComparisonExperiment(opt Options) (*StartupCurves, error) {
+	return experiments.StagedComparison(opt)
+}
+
+// DeltaBBTSweepExperiment varies the BBT translation cost between the
+// software and fully-assisted values.
+func DeltaBBTSweepExperiment(opt Options, app string, deltas []float64) (*experiments.DeltaReport, error) {
+	return experiments.DeltaBBTSweep(opt, app, deltas)
+}
+
+// Report formatters (text tables matching the paper's presentation).
+var (
+	FormatStartup   = experiments.FormatStartup
+	FormatFig3      = experiments.FormatFig3
+	FormatFig9      = experiments.FormatFig9
+	FormatFig10     = experiments.FormatFig10
+	FormatFig11     = experiments.FormatFig11
+	FormatOverhead  = experiments.FormatOverhead
+	FormatAblation  = experiments.FormatAblation
+	FormatTable1    = experiments.FormatTable1
+	FormatTable2    = experiments.FormatTable2
+	FormatPersist   = experiments.FormatPersist
+	FormatPressure  = experiments.FormatPressure
+	FormatColdStart = experiments.FormatColdStart
+	FormatSwitch    = experiments.FormatSwitch
+	FormatDelta     = experiments.FormatDelta
+)
+
+// Low-level access for tooling: the architected ISA package types needed
+// to construct custom programs.
+type (
+	// Asm is the IA-32 subset assembler.
+	Asm = x86.Asm
+	// ArchState is the architected register state.
+	ArchState = x86.State
+	// ArchMemory is the sparse 32-bit address space.
+	ArchMemory = x86.Memory
+)
+
+// NewAsm returns an assembler emitting at the given base address.
+func NewAsm(base uint32) *Asm { return x86.NewAsm(base) }
+
+// NewMemory returns an empty architected address space.
+func NewMemory() *ArchMemory { return x86.NewMemory() }

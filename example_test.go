@@ -1,0 +1,53 @@
+package codesignvm_test
+
+import (
+	"fmt"
+
+	codesignvm "codesignvm"
+)
+
+// ExampleHotThreshold reproduces the paper's Eq. 2 computation of the
+// balanced hotspot threshold.
+func ExampleHotThreshold() {
+	n := codesignvm.HotThreshold(1200, 1.15) // ΔSBT ≈ 1200 x86 instrs, p = 1.15
+	fmt.Printf("hot threshold N = %.0f\n", n)
+	// Output: hot threshold N = 8000
+}
+
+// ExamplePaperOverhead evaluates Eq. 1 with the paper's §3.2 values,
+// showing that basic-block translation dominates startup overhead.
+func ExamplePaperOverhead() {
+	o := codesignvm.PaperOverhead()
+	fmt.Printf("BBT %.4gM, SBT %.4gM, BBT dominates: %v\n",
+		o.BBTComponent()/1e6, o.SBTComponent()/1e6, o.BBTDominates())
+	// Output: BBT 15.75M, SBT 5.022M, BBT dominates: true
+}
+
+// ExampleRun simulates a small benchmark on the VM with the XLTx86
+// backend assist and reports what the run produced.
+func ExampleRun() {
+	prog, err := codesignvm.LoadWorkload("Winzip", 400) // tiny demo scale
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := codesignvm.Run(codesignvm.VMBE, prog, 200_000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("retired ≥200k instructions: %v\n", res.Instrs >= 200_000)
+	fmt.Printf("XLTx86 used: %v\n", res.XltInvocations > 0)
+	fmt.Printf("cycles accounted: %v\n", res.Cycles > 0)
+	// Output:
+	// retired ≥200k instructions: true
+	// XLTx86 used: true
+	// cycles accounted: true
+}
+
+// ExampleModelByName resolves the paper's machine-configuration names.
+func ExampleModelByName() {
+	m, _ := codesignvm.ModelByName("VM.fe")
+	fmt.Println(m == codesignvm.VMFE)
+	// Output: true
+}

@@ -1,0 +1,49 @@
+// hotspot_tuning explores the staged-translation threshold trade-off of
+// §3.2: Eq. 2 predicts the breakeven threshold N = ΔSBT/(p−1); this
+// example sweeps the hot threshold around that value on a real workload
+// and shows the balance the paper describes — a low threshold wastes
+// cycles optimizing code that never repays (over-translation), a high
+// threshold leaves hotspot performance on the table (under-coverage).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	codesignvm "codesignvm"
+)
+
+func main() {
+	// Eq. 2 with the paper's constants.
+	fmt.Println("Eq. 2: N = ΔSBT / (p − 1)")
+	for _, p := range []float64{1.10, 1.15, 1.20, 1.50, 2.0} {
+		fmt.Printf("  speedup p = %.2f → N = %6.0f\n", p, codesignvm.HotThreshold(1200, p))
+	}
+	fmt.Printf("  interpreter (p ≈ 48) → N = %.0f\n\n", codesignvm.HotThreshold(1200, 48))
+
+	prog, err := codesignvm.LoadWorkload("Excel", 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const budget = 10_000_000
+
+	fmt.Println("measured threshold sweep (VM.soft, Excel workload):")
+	fmt.Printf("%10s %12s %12s %10s %12s %12s\n",
+		"threshold", "cycles (M)", "agg IPC", "coverage", "SBT xlate%", "superblocks")
+	for _, thr := range []uint64{500, 2000, 8000, 32000, 128000} {
+		cfg := codesignvm.DefaultConfig(codesignvm.VMSoft)
+		cfg.HotThreshold = thr
+		res, err := codesignvm.RunConfig(cfg, prog, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %12.2f %12.3f %9.1f%% %11.1f%% %12d\n",
+			thr, res.Cycles/1e6, res.IPC(),
+			100*res.HotspotCoverage(),
+			100*res.Cat[codesignvm.CatSBTXlate]/res.Cycles,
+			res.SBTTranslations)
+	}
+	fmt.Println("\nThe paper's threshold (8000) balances optimization overhead against")
+	fmt.Println("hotspot coverage; far lower thresholds burn cycles in the optimizer,")
+	fmt.Println("far higher ones strand execution in unoptimized BBT code.")
+}

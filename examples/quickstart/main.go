@@ -1,0 +1,53 @@
+// Quickstart: simulate one Winstone-like benchmark on the reference
+// superscalar and on the co-designed VM with the XLTx86 backend assist,
+// and compare startup behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	codesignvm "codesignvm"
+)
+
+func main() {
+	// Generate the "Word" benchmark at 1/50 of the paper's footprint
+	// (fast enough for a demo; use scale 25 or 1 for real experiments).
+	prog, err := codesignvm.LoadWorkload("Word", 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %d static x86 instructions (%d hot, %d kernels)\n\n",
+		prog.Params.Name, prog.StaticInstrs, prog.HotInstrs, prog.NumKernels)
+
+	const budget = 20_000_000
+	ref, err := codesignvm.Run(codesignvm.Ref, prog, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := codesignvm.Run(codesignvm.VMBE, prog, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %14s %14s\n", "", "Ref", "VM.be")
+	row := func(name string, a, b float64, unit string) {
+		fmt.Printf("%-22s %14.3f %14.3f %s\n", name, a, b, unit)
+	}
+	row("total cycles (M)", ref.Cycles/1e6, vm.Cycles/1e6, "")
+	row("aggregate IPC", ref.IPC(), vm.IPC(), "")
+	row("steady-state IPC",
+		codesignvm.SteadyIPC(ref.Samples, 0.5),
+		codesignvm.SteadyIPC(vm.Samples, 0.5), "")
+	fmt.Printf("%-22s %14s %14.1f %%\n", "hotspot coverage", "-", 100*vm.HotspotCoverage())
+	fmt.Printf("%-22s %14s %14d\n", "XLTx86 invocations", "-", vm.XltInvocations)
+
+	if be, ok := codesignvm.Breakeven(ref.Samples, vm.Samples); ok {
+		fmt.Printf("\nVM.be catches the reference superscalar after %.3g cycles\n", be)
+	} else {
+		fmt.Println("\nVM.be did not catch the reference within this trace")
+	}
+
+	gain := codesignvm.SteadyIPC(vm.Samples, 0.5)/codesignvm.SteadyIPC(ref.Samples, 0.5) - 1
+	fmt.Printf("steady-state gain from macro-op fusion: %+.1f%%\n", 100*gain)
+}

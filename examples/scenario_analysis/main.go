@@ -1,0 +1,102 @@
+// scenario_analysis reproduces the §3.1 startup-scenario taxonomy two
+// ways: analytically (the Eq. 1-based timeline model) and by direct
+// measurement — running a VM through a memory startup, then flushing the
+// processor caches mid-run to emulate a short context switch and
+// measuring the code-cache-warm transient, where translations survive
+// and only the cache hierarchy must re-warm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	codesignvm "codesignvm"
+)
+
+func main() {
+	analytic()
+	measured()
+}
+
+func analytic() {
+	p := codesignvm.ScenarioParams{
+		Overhead:        codesignvm.PaperOverhead(),
+		CyclesPerNative: 1.0,
+		DiskLatency:     20e6, // ~10 ms at 2 GHz
+		ColdMissCycles:  3e6,
+		SteadyIPC:       1.5,
+		WorkInstrs:      100e6,
+	}
+	fmt.Println("§3.1 scenarios — analytic timeline (100M-instruction task):")
+	for _, s := range []codesignvm.Scenario{
+		codesignvm.DiskStartup, codesignvm.MemoryStartup,
+		codesignvm.CodeCacheWarm, codesignvm.SteadyState,
+	} {
+		c := codesignvm.EstimateScenarioCycles(s, p)
+		fmt.Printf("  %-22v %10.1fM cycles (%.2fx steady state)\n",
+			s, c/1e6, c/codesignvm.EstimateScenarioCycles(codesignvm.SteadyState, p))
+	}
+	fmt.Println()
+}
+
+func measured() {
+	prog, err := codesignvm.LoadWorkload("Norton", 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const phase = 5_000_000
+
+	vm := codesignvm.NewVM(codesignvm.VMSoft, prog)
+
+	// Phase 1: memory startup (binary resident, caches cold, nothing
+	// translated).
+	p1, err := vm.Run(phase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1 := *p1 // snapshot: Run returns a live view of the VM's result
+	fmt.Printf("memory startup:      %d instrs in %.3gM cycles (IPC %.3f)\n",
+		res1.Instrs, res1.Cycles/1e6, res1.IPC())
+
+	// Context switch: another task evicts the caches, but the code
+	// caches (in concealed main memory) keep every translation.
+	vm.Engine().Caches.Flush()
+	vm.Engine().Pred.Reset()
+
+	// Phase 2: code-cache-warm startup.
+	p2, err := vm.Run(2 * phase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := *p2
+	warmCycles := res2.Cycles - res1.Cycles
+	warmInstrs := res2.Instrs - res1.Instrs
+	fmt.Printf("code-cache warm:     %d instrs in %.3gM cycles (IPC %.3f)\n",
+		warmInstrs, warmCycles/1e6, float64(warmInstrs)/warmCycles)
+
+	// Reference comparison: the same two phases on a conventional core.
+	ref := codesignvm.NewVM(codesignvm.Ref, prog)
+	q1, err := ref.Run(phase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1 := *q1
+	ref.Engine().Caches.Flush()
+	ref.Engine().Pred.Reset()
+	q2, err := ref.Run(2 * phase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2 := *q2
+
+	fmt.Printf("\n%-26s %12s %12s\n", "phase", "Ref IPC", "VM.soft IPC")
+	fmt.Printf("%-26s %12.3f %12.3f   <- translation overhead exposed\n",
+		"memory startup", float64(r1.Instrs)/r1.Cycles, res1.IPC())
+	fmt.Printf("%-26s %12.3f %12.3f   <- translations reused, only caches re-warm\n",
+		"code-cache warm restart",
+		float64(r2.Instrs-r1.Instrs)/(r2.Cycles-r1.Cycles),
+		float64(warmInstrs)/warmCycles)
+	fmt.Println("\nAs §3.1 argues, the VM's disadvantage is concentrated in the memory-")
+	fmt.Println("startup scenario; once translations are resident, the transient after")
+	fmt.Println("a short context switch behaves like a conventional processor's.")
+}

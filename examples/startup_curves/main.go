@@ -1,0 +1,64 @@
+// startup_curves regenerates the paper's headline figures (Fig. 2 and
+// Fig. 8): normalized aggregate-IPC startup curves for all machine
+// configurations, printed as CSV suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	codesignvm "codesignvm"
+)
+
+var (
+	scale = flag.Int("scale", 50, "workload scale divisor")
+	apps  = flag.String("apps", "Word,Excel,Winzip", "benchmarks to average over")
+	csv   = flag.Bool("csv", false, "emit raw CSV instead of tables")
+)
+
+func main() {
+	flag.Parse()
+	opt := codesignvm.Options{Scale: *scale}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+
+	fig2, err := codesignvm.Figure2(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig8, err := codesignvm.Figure8(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csv {
+		emitCSV("fig2", fig2)
+		emitCSV("fig8", fig8)
+		return
+	}
+	fmt.Print(codesignvm.FormatStartup(fig2, "Fig. 2 — software staged translation startup"))
+	fmt.Println()
+	fmt.Print(codesignvm.FormatStartup(fig8, "Fig. 8 — startup with hardware assists"))
+	fmt.Println("\nReading the curves: the y-axis is cumulative instructions / cycles,")
+	fmt.Println("normalized to the reference superscalar's steady-state IPC. VM.fe")
+	fmt.Println("tracks Ref almost exactly; VM.be lags briefly; software BBT and")
+	fmt.Println("especially interpretation (Fig. 2) pay long startup transients.")
+}
+
+func emitCSV(name string, s *codesignvm.StartupCurves) {
+	fmt.Printf("# %s\ncycles", name)
+	for _, m := range s.Models {
+		fmt.Printf(",%v", m)
+	}
+	fmt.Println()
+	for gi, c := range s.Grid {
+		fmt.Printf("%g", c)
+		for _, m := range s.Models {
+			fmt.Printf(",%.4f", s.Curves[m][gi])
+		}
+		fmt.Println()
+	}
+}

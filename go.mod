@@ -1,0 +1,3 @@
+module codesignvm
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package bbt implements the basic block translator of the co-designed
+// VM: the light-weight first translation stage that cracks one
+// architected basic block at a time into straight-forward micro-op code
+// with no optimization, placing it in the basic-block code cache for
+// reuse (Fig. 1 of the paper).
+//
+// The package builds the translation *content*; the translation *cost*
+// (ΔBBT ≈ 105 native instructions / 83 cycles per x86 instruction in
+// software, or ≈ 20 cycles with the XLTx86 backend assist) is charged by
+// the machine model, so the same translator body serves VM.soft and
+// VM.be.
+package bbt
+
+import (
+	"fmt"
+
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/crack"
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/x86"
+)
+
+// Config controls block formation.
+type Config struct {
+	// MaxInsts caps the number of architected instructions per block;
+	// blocks that reach the cap end with a fall-through exit.
+	MaxInsts int
+}
+
+// DefaultConfig matches the baseline VM.
+var DefaultConfig = Config{MaxInsts: 128}
+
+// Translate builds the basic-block translation starting at pc. The block
+// extends to the first control-transfer instruction (inclusive) or to
+// cfg.MaxInsts. Complex-class instructions are embedded as VMM callouts
+// and do not terminate the block.
+func Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, error) {
+	if cfg.MaxInsts <= 0 {
+		cfg.MaxInsts = DefaultConfig.MaxInsts
+	}
+	t := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: pc}
+	cur := pc
+	defer func() { t.X86Bytes = int(cur - pc) }()
+
+	for n := 0; n < cfg.MaxInsts; n++ {
+		in, err := x86.DecodeMem(mem, cur)
+		if err != nil {
+			return nil, fmt.Errorf("bbt: decode at %#x: %w", cur, err)
+		}
+		before := len(t.Uops)
+		var desc crack.Desc
+		t.Uops, desc, err = crack.Crack(t.Uops, &in, cur)
+		if err != nil {
+			return nil, fmt.Errorf("bbt: %#x: %w", cur, err)
+		}
+		t.NumX86++
+
+		if !desc.Kind.IsCTI() {
+			// Mark the instruction boundary on its last micro-op.
+			if len(t.Uops) > before {
+				t.Uops[len(t.Uops)-1].Boundary = 1
+			}
+			cur = desc.NextPC
+			continue
+		}
+
+		appendTerminator(t, &desc, cur)
+		cur = desc.NextPC
+		finish(t)
+		return t, nil
+	}
+
+	// Block length cap reached: end with a synthetic fall-through exit
+	// (not an architected instruction boundary).
+	t.Exits = append(t.Exits, codecache.Exit{Kind: codecache.ExitFall, Target: cur})
+	t.Uops = append(t.Uops, fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: int32(len(t.Exits) - 1), X86PC: cur})
+	finish(t)
+	return t, nil
+}
+
+// appendTerminator emits the exit micro-ops and exit descriptors for the
+// block-ending CTI described by desc.
+func appendTerminator(t *codecache.Translation, desc *crack.Desc, pc uint32) {
+	exitIdx := func(e codecache.Exit) int32 {
+		t.Exits = append(t.Exits, e)
+		return int32(len(t.Exits) - 1)
+	}
+	switch desc.Kind {
+	case crack.KindCondBranch:
+		fall := exitIdx(codecache.Exit{Kind: codecache.ExitFall, Target: desc.NextPC, BranchPC: pc})
+		taken := exitIdx(codecache.Exit{Kind: codecache.ExitTaken, Target: desc.Target, BranchPC: pc})
+		// UBR jumps to the taken trampoline; fall-through reaches the
+		// fall trampoline immediately after it.
+		brIdx := len(t.Uops)
+		t.Uops = append(t.Uops,
+			fisa.MicroOp{Op: fisa.UBR, W: 4, Cond: desc.Cond, Imm: int32(brIdx + 2), X86PC: pc, Boundary: 1},
+			fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: fall, X86PC: pc},
+			fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: taken, X86PC: pc},
+		)
+	case crack.KindJump, crack.KindCall:
+		idx := exitIdx(codecache.Exit{
+			Kind: codecache.ExitTaken, Target: desc.Target, BranchPC: pc,
+			Call: desc.Kind == crack.KindCall, ReturnPC: desc.NextPC,
+		})
+		t.Uops = append(t.Uops, fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: idx, X86PC: pc, Boundary: 1})
+	case crack.KindJumpInd, crack.KindCallInd, crack.KindRet:
+		idx := exitIdx(codecache.Exit{
+			Kind: codecache.ExitIndirect, TargetReg: desc.TargetReg, BranchPC: pc,
+			Call: desc.Kind == crack.KindCallInd, ReturnPC: desc.NextPC,
+			Ret: desc.Kind == crack.KindRet,
+		})
+		t.Uops = append(t.Uops, fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: idx, Src1: desc.TargetReg, X86PC: pc, Boundary: 1})
+	case crack.KindHalt:
+		idx := exitIdx(codecache.Exit{Kind: codecache.ExitHalt})
+		t.Uops = append(t.Uops, fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: idx, X86PC: pc, Boundary: 1})
+	default:
+		panic("bbt: not a CTI kind: " + desc.Kind.String())
+	}
+}
+
+// finish computes the encoded size and micro-op count of the translation.
+func finish(t *codecache.Translation) {
+	t.NumUops = len(t.Uops)
+	size := 0
+	for i := range t.Uops {
+		size += fisa.EncodedLen(&t.Uops[i])
+	}
+	t.Size = size
+}

@@ -1,0 +1,150 @@
+// Package bpred implements the branch prediction hardware of the
+// simulated superscalar cores: a gshare direction predictor, a
+// direct-mapped branch target buffer for indirect branches, and a return
+// address stack. The timing model charges the frontend-depth-dependent
+// misprediction penalty whenever a prediction is wrong.
+package bpred
+
+// Config sizes the predictor structures.
+type Config struct {
+	GshareBits  int // log2 of the pattern history table size
+	HistoryBits int // global history length
+	BTBEntries  int // power of two
+	RASDepth    int
+}
+
+// DefaultConfig is a predictor appropriate for the Table 2 cores.
+var DefaultConfig = Config{GshareBits: 14, HistoryBits: 12, BTBEntries: 4096, RASDepth: 16}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	CondBranches   uint64
+	CondMispredict uint64
+	IndBranches    uint64
+	IndMispredict  uint64
+	Returns        uint64
+	RetMispredict  uint64
+}
+
+// Predictor holds the dynamic prediction state.
+type Predictor struct {
+	cfg      Config
+	pht      []uint8 // 2-bit saturating counters
+	phtMask  uint32
+	history  uint32
+	histMask uint32
+
+	btbTags    []uint32
+	btbTargets []uint32
+	btbMask    uint32
+
+	ras    []uint32
+	rasTop int
+
+	stats Stats
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.GshareBits <= 0 {
+		cfg = DefaultConfig
+	}
+	size := 1 << cfg.GshareBits
+	p := &Predictor{
+		cfg:        cfg,
+		pht:        make([]uint8, size),
+		phtMask:    uint32(size - 1),
+		histMask:   (1 << cfg.HistoryBits) - 1,
+		btbTags:    make([]uint32, cfg.BTBEntries),
+		btbTargets: make([]uint32, cfg.BTBEntries),
+		btbMask:    uint32(cfg.BTBEntries - 1),
+		ras:        make([]uint32, cfg.RASDepth),
+	}
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+// Stats returns a copy of the outcome counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func (p *Predictor) phtIndex(pc uint32) uint32 {
+	return ((pc >> 2) ^ (p.history & p.histMask)) & p.phtMask
+}
+
+// Cond records a conditional branch outcome and reports whether the
+// hardware would have mispredicted it.
+func (p *Predictor) Cond(pc uint32, taken bool) (mispredict bool) {
+	idx := p.phtIndex(pc)
+	pred := p.pht[idx] >= 2
+	mispredict = pred != taken
+	// Update counter and history.
+	if taken {
+		if p.pht[idx] < 3 {
+			p.pht[idx]++
+		}
+	} else if p.pht[idx] > 0 {
+		p.pht[idx]--
+	}
+	p.history = (p.history << 1) & p.histMask
+	if taken {
+		p.history |= 1
+	}
+	p.stats.CondBranches++
+	if mispredict {
+		p.stats.CondMispredict++
+	}
+	return mispredict
+}
+
+// Indirect records an indirect jump/call to target and reports whether
+// the BTB would have mispredicted the target.
+func (p *Predictor) Indirect(pc, target uint32) (mispredict bool) {
+	idx := (pc >> 1) & p.btbMask
+	mispredict = p.btbTags[idx] != pc || p.btbTargets[idx] != target
+	p.btbTags[idx] = pc
+	p.btbTargets[idx] = target
+	p.stats.IndBranches++
+	if mispredict {
+		p.stats.IndMispredict++
+	}
+	return mispredict
+}
+
+// Call pushes a return address onto the RAS.
+func (p *Predictor) Call(returnPC uint32) {
+	p.ras[p.rasTop%len(p.ras)] = returnPC
+	p.rasTop++
+}
+
+// Return pops the RAS and reports whether the predicted return address
+// was wrong.
+func (p *Predictor) Return(target uint32) (mispredict bool) {
+	p.stats.Returns++
+	if p.rasTop == 0 {
+		p.stats.RetMispredict++
+		return true
+	}
+	p.rasTop--
+	pred := p.ras[p.rasTop%len(p.ras)]
+	if pred != target {
+		p.stats.RetMispredict++
+		return true
+	}
+	return false
+}
+
+// Reset clears all dynamic state (used between runs).
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 1
+	}
+	for i := range p.btbTags {
+		p.btbTags[i] = 0
+		p.btbTargets[i] = 0
+	}
+	p.history = 0
+	p.rasTop = 0
+	p.stats = Stats{}
+}

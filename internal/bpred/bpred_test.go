@@ -1,0 +1,125 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCondLearnsBias(t *testing.T) {
+	p := New(DefaultConfig)
+	pc := uint32(0x401000)
+	// Always-taken branch: once the global history register is saturated
+	// with ones and the pattern's counter trained, no mispredictions.
+	for i := 0; i < 30; i++ {
+		p.Cond(pc, true)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if p.Cond(pc, true) {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Errorf("always-taken branch mispredicted %d/100 after warmup", miss)
+	}
+}
+
+func TestCondLearnsPattern(t *testing.T) {
+	p := New(DefaultConfig)
+	pc := uint32(0x402000)
+	// Alternating pattern is captured by global history.
+	for i := 0; i < 200; i++ {
+		p.Cond(pc, i%2 == 0)
+	}
+	miss := 0
+	for i := 200; i < 400; i++ {
+		if p.Cond(pc, i%2 == 0) {
+			miss++
+		}
+	}
+	if miss > 10 {
+		t.Errorf("alternating pattern mispredicted %d/200", miss)
+	}
+}
+
+func TestCondRandomIsHard(t *testing.T) {
+	p := New(DefaultConfig)
+	rng := rand.New(rand.NewSource(3))
+	pc := uint32(0x403000)
+	miss := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.Cond(pc, rng.Intn(2) == 0) {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate < 0.3 || rate > 0.7 {
+		t.Errorf("random branch miss rate = %.2f, expected ≈ 0.5", rate)
+	}
+}
+
+func TestIndirectBTB(t *testing.T) {
+	p := New(DefaultConfig)
+	pc := uint32(0x404000)
+	if !p.Indirect(pc, 0x500000) {
+		t.Error("cold indirect should mispredict")
+	}
+	if p.Indirect(pc, 0x500000) {
+		t.Error("repeated target should hit")
+	}
+	if !p.Indirect(pc, 0x600000) {
+		t.Error("changed target should mispredict")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig)
+	p.Call(0x1000)
+	p.Call(0x2000)
+	if p.Return(0x2000) {
+		t.Error("matched return mispredicted")
+	}
+	if p.Return(0x1000) {
+		t.Error("matched outer return mispredicted")
+	}
+	if !p.Return(0x9999) {
+		t.Error("empty RAS should mispredict")
+	}
+}
+
+func TestRASDepthWrap(t *testing.T) {
+	p := New(Config{GshareBits: 10, HistoryBits: 8, BTBEntries: 64, RASDepth: 4})
+	for i := 0; i < 8; i++ {
+		p.Call(uint32(0x1000 + i))
+	}
+	// The four most recent still predict correctly.
+	for i := 7; i >= 4; i-- {
+		if p.Return(uint32(0x1000 + i)) {
+			t.Errorf("recent return %d mispredicted", i)
+		}
+	}
+	// Deeper entries were overwritten.
+	if !p.Return(0x1003) {
+		t.Error("overwritten RAS entry should mispredict")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := New(DefaultConfig)
+	p.Cond(0x100, true)
+	p.Indirect(0x200, 0x300)
+	p.Call(0x400)
+	p.Return(0x400)
+	s := p.Stats()
+	if s.CondBranches != 1 || s.IndBranches != 1 || s.Returns != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	p.Reset()
+	if p.Stats().CondBranches != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if p.Return(0x1) != true {
+		t.Error("reset should empty the RAS")
+	}
+}

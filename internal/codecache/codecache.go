@@ -1,0 +1,232 @@
+// Package codecache implements the concealed-memory code caches of the
+// co-designed VM: allocation of translated code in a hidden region of
+// main memory, the translation lookup table mapping architected PCs to
+// translations, translation chaining (direct linking of exits to target
+// translations, replacing dispatch through the lookup table), and
+// capacity management with flush-style eviction.
+package codecache
+
+import (
+	"fmt"
+
+	"codesignvm/internal/fisa"
+)
+
+// TransKind distinguishes translation producers.
+type TransKind uint8
+
+// Translation kinds.
+const (
+	KindBBT TransKind = iota // simple basic-block translation
+	KindSBT                  // optimized superblock translation
+)
+
+func (k TransKind) String() string {
+	if k == KindBBT {
+		return "BBT"
+	}
+	return "SBT"
+}
+
+// ExitKind classifies a translation exit.
+type ExitKind uint8
+
+// Exit kinds.
+const (
+	ExitFall     ExitKind = iota // fall through to the next x86 PC
+	ExitTaken                    // taken direct branch / jump / call
+	ExitIndirect                 // target in a native register (ret, jmp/call reg)
+	ExitHalt                     // program termination
+	ExitSide                     // superblock side exit (early leave)
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitFall:
+		return "fall"
+	case ExitTaken:
+		return "taken"
+	case ExitIndirect:
+		return "indirect"
+	case ExitHalt:
+		return "halt"
+	case ExitSide:
+		return "side"
+	}
+	return "exit?"
+}
+
+// Exit describes one way control leaves a translation.
+type Exit struct {
+	Kind      ExitKind
+	Target    uint32       // static architected target (direct exits)
+	TargetReg fisa.Reg     // register holding the target (indirect exits)
+	BranchPC  uint32       // architected PC of the terminating CTI (0 if none)
+	Call      bool         // the CTI is a call (pushes ReturnPC, trains the RAS)
+	Ret       bool         // the CTI is a return (predicted via the RAS)
+	ReturnPC  uint32       // fall-through PC of a call
+	Chained   *Translation // direct chain, nil until linked
+	Count     uint64       // taken count (profiling)
+}
+
+// Translation is one unit of translated code resident in a code cache.
+type Translation struct {
+	Kind    TransKind
+	EntryPC uint32 // architected address of the first covered instruction
+	Uops    []fisa.MicroOp
+	Exits   []Exit
+
+	Addr    uint32 // code-cache address of the first byte
+	Size    int    // encoded size in bytes
+	NumX86  int    // architected instructions covered
+	NumUops int    // micro-ops (excluding nothing; len(Uops))
+
+	// Issue-shape precomputation for the timing model.
+	Entities   int     // issue entities (fused pair = 1)
+	FusedPairs int     // number of macro-op pairs
+	Depth      int     // dependence critical path in issue entities
+	CPE        float64 // cycles per entity = max(1/width-bound, depth/entities)
+
+	X86Bytes int // architected code bytes covered (x86-mode fetch span)
+
+	ExecCount uint64 // executions (software profiling counter)
+	Epoch     uint64 // cache epoch the translation belongs to
+	Invalid   bool   // superseded (e.g. BBT block replaced by a superblock)
+	Shadow    bool   // hardware-decode shadow block (x86-mode / interpreter), not cache-resident
+}
+
+// FusedFraction returns the fraction of micro-ops covered by macro-op
+// pairs (the paper's "% of dynamic micro-ops fused" for this static
+// translation).
+func (t *Translation) FusedFraction() float64 {
+	if t.NumUops == 0 {
+		return 0
+	}
+	return float64(2*t.FusedPairs) / float64(t.NumUops)
+}
+
+// Stats aggregates code-cache behaviour.
+type Stats struct {
+	Inserts      uint64
+	Lookups      uint64
+	Hits         uint64
+	Flushes      uint64
+	BytesAlloced uint64
+	Chains       uint64
+}
+
+// Cache is one code cache region (the VM uses one for BBT code and one
+// for SBT code).
+type Cache struct {
+	Name     string
+	Base     uint32 // concealed-memory base address
+	Capacity uint32 // bytes
+
+	next  uint32
+	table map[uint32]*Translation
+	epoch uint64
+	stats Stats
+}
+
+// New returns an empty code cache occupying [base, base+capacity).
+func New(name string, base, capacity uint32) *Cache {
+	return &Cache{
+		Name:     name,
+		Base:     base,
+		Capacity: capacity,
+		next:     base,
+		table:    make(map[uint32]*Translation),
+	}
+}
+
+// Lookup finds the translation for an architected PC.
+func (c *Cache) Lookup(pc uint32) *Translation {
+	c.stats.Lookups++
+	t := c.table[pc]
+	if t != nil {
+		c.stats.Hits++
+	}
+	return t
+}
+
+// Contains reports whether a translation for pc exists without touching
+// the lookup statistics (used by assists and tests).
+func (c *Cache) Contains(pc uint32) bool {
+	_, ok := c.table[pc]
+	return ok
+}
+
+// Insert allocates space for the translation, assigns its code-cache
+// address, and registers it in the lookup table. When the region is full
+// the cache is flushed first (coarse-grained eviction, as used by most
+// code-cache systems); Insert reports whether a flush occurred so the VMM
+// can account for re-translations.
+func (c *Cache) Insert(t *Translation) (flushed bool, err error) {
+	size := uint32(t.Size)
+	if size == 0 {
+		return false, fmt.Errorf("codecache: translation for %#x has zero size", t.EntryPC)
+	}
+	if size > c.Capacity {
+		return false, fmt.Errorf("codecache: translation (%d bytes) exceeds capacity %d", size, c.Capacity)
+	}
+	if c.next+size > c.Base+c.Capacity {
+		c.Flush()
+		flushed = true
+	}
+	t.Addr = c.next
+	t.Epoch = c.epoch
+	c.next += size
+	// Keep translations 4-byte aligned like the hardware would.
+	c.next = (c.next + 3) &^ 3
+	c.table[t.EntryPC] = t
+	c.stats.Inserts++
+	c.stats.BytesAlloced += uint64(size)
+	return flushed, nil
+}
+
+// Flush evicts every translation (the coarse-grained code-cache eviction
+// policy). Chains into the flushed epoch become invalid because the
+// translations are unreachable afterwards.
+func (c *Cache) Flush() {
+	c.table = make(map[uint32]*Translation)
+	c.next = c.Base
+	c.epoch++
+	c.stats.Flushes++
+}
+
+// Epoch returns the current flush epoch; exits chained to a translation
+// of an older epoch must not be followed.
+func (c *Cache) Epoch() uint64 { return c.epoch }
+
+// Used returns the bytes currently allocated.
+func (c *Cache) Used() uint32 { return c.next - c.Base }
+
+// Len returns the number of live translations.
+func (c *Cache) Len() int { return len(c.table) }
+
+// Stats returns a copy of the cache statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ForEach visits every live translation.
+func (c *Cache) ForEach(fn func(*Translation)) {
+	for _, t := range c.table {
+		fn(t)
+	}
+}
+
+// Chain links exit e of from to the translation to (direct chaining).
+// Subsequent transitions through this exit bypass the VMM dispatcher.
+func (c *Cache) Chain(from *Translation, exitIdx int, to *Translation) {
+	from.Exits[exitIdx].Chained = to
+	c.stats.Chains++
+}
+
+// ValidChain returns the chained translation for an exit if the chain is
+// still valid in the current epoch, else nil.
+func (c *Cache) ValidChain(e *Exit) *Translation {
+	t := e.Chained
+	if t == nil || t.Epoch != c.epoch {
+		return nil
+	}
+	return t
+}

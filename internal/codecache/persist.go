@@ -1,0 +1,194 @@
+package codecache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"codesignvm/internal/fisa"
+)
+
+// Translation persistence: serialize a code cache's live translations so
+// a later run can start with them resident — the FX!32-style
+// translate-once-reuse-later strategy discussed in the paper's related
+// work (§1.2). Micro-op code is stored in its real binary encoding;
+// execution metadata (per-micro-op architected PCs and retirement
+// counts) and exit descriptors ride alongside.
+
+const persistMagic = "CCVM1"
+
+// Save writes every live translation to w.
+func (c *Cache) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.table))); err != nil {
+		return err
+	}
+	for _, t := range c.table {
+		if err := writeTranslation(bw, t); err != nil {
+			return fmt.Errorf("codecache: save %#x: %w", t.EntryPC, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads translations from r and inserts them into the cache,
+// returning how many were restored. Loaded translations keep their
+// content but receive fresh code-cache addresses.
+func (c *Cache) Load(r io.Reader) (int, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, err
+	}
+	if string(magic) != persistMagic {
+		return 0, fmt.Errorf("codecache: bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for i := uint32(0); i < count; i++ {
+		t, err := readTranslation(br)
+		if err != nil {
+			return loaded, fmt.Errorf("codecache: load translation %d: %w", i, err)
+		}
+		if _, err := c.Insert(t); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+func writeTranslation(w *bufio.Writer, t *Translation) error {
+	code, _, err := fisa.EncodeAll(t.Uops)
+	if err != nil {
+		return err
+	}
+	hdr := []uint32{
+		uint32(t.Kind), t.EntryPC, uint32(t.NumX86), uint32(t.X86Bytes),
+		uint32(len(t.Uops)), uint32(len(code)), uint32(len(t.Exits)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write(code); err != nil {
+		return err
+	}
+	// Metadata sidecar: per-µop architected PC (delta from entry) and
+	// retirement count.
+	for i := range t.Uops {
+		if err := binary.Write(w, binary.LittleEndian, t.Uops[i].X86PC); err != nil {
+			return err
+		}
+		if err := w.WriteByte(t.Uops[i].Boundary); err != nil {
+			return err
+		}
+	}
+	for i := range t.Exits {
+		e := &t.Exits[i]
+		flags := byte(0)
+		if e.Call {
+			flags |= 1
+		}
+		if e.Ret {
+			flags |= 2
+		}
+		if err := w.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if err := w.WriteByte(byte(e.TargetReg)); err != nil {
+			return err
+		}
+		if err := w.WriteByte(flags); err != nil {
+			return err
+		}
+		for _, v := range []uint32{e.Target, e.BranchPC, e.ReturnPC} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readTranslation(r *bufio.Reader) (*Translation, error) {
+	var hdr [7]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	t := &Translation{
+		Kind:     TransKind(hdr[0]),
+		EntryPC:  hdr[1],
+		NumX86:   int(hdr[2]),
+		X86Bytes: int(hdr[3]),
+	}
+	nUops, codeLen, nExits := int(hdr[4]), int(hdr[5]), int(hdr[6])
+	if nUops > 1<<20 || codeLen > 1<<24 || nExits > 1<<16 {
+		return nil, fmt.Errorf("implausible sizes: %d uops, %d bytes, %d exits", nUops, codeLen, nExits)
+	}
+	code := make([]byte, codeLen)
+	if _, err := io.ReadFull(r, code); err != nil {
+		return nil, err
+	}
+	uops, err := fisa.DecodeAll(code)
+	if err != nil {
+		return nil, err
+	}
+	if len(uops) != nUops {
+		return nil, fmt.Errorf("decoded %d µops, header says %d", len(uops), nUops)
+	}
+	for i := range uops {
+		if err := binary.Read(r, binary.LittleEndian, &uops[i].X86PC); err != nil {
+			return nil, err
+		}
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		uops[i].Boundary = b
+	}
+	t.Uops = uops
+	t.NumUops = nUops
+	t.Size = codeLen
+	t.Exits = make([]Exit, nExits)
+	for i := range t.Exits {
+		e := &t.Exits[i]
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		reg, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		e.Kind = ExitKind(kind)
+		e.TargetReg = fisa.Reg(reg)
+		e.Call = flags&1 != 0
+		e.Ret = flags&2 != 0
+		var vals [3]uint32
+		for j := range vals {
+			if err := binary.Read(r, binary.LittleEndian, &vals[j]); err != nil {
+				return nil, err
+			}
+		}
+		e.Target, e.BranchPC, e.ReturnPC = vals[0], vals[1], vals[2]
+	}
+	return t, nil
+}

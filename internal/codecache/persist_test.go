@@ -1,0 +1,129 @@
+package codecache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/x86"
+)
+
+func persistFixture() *Translation {
+	return &Translation{
+		Kind:     KindSBT,
+		EntryPC:  0x401000,
+		NumX86:   3,
+		X86Bytes: 9,
+		NumUops:  5,
+		Uops: []fisa.MicroOp{
+			{Op: fisa.UADDI, W: 4, SetF: true, Dst: fisa.REAX, Src1: fisa.REAX, Imm: 4, X86PC: 0x401000, Boundary: 1},
+			{Op: fisa.UCMPI, W: 4, Src1: fisa.REAX, Imm: 100, X86PC: 0x401003, Fused: true},
+			{Op: fisa.UBR, W: 4, Cond: x86.CondL, Imm: 3, X86PC: 0x401006, Boundary: 2},
+			{Op: fisa.UEXIT, W: 4, Imm: 0},
+			{Op: fisa.UEXIT, W: 4, Imm: 1, Src1: fisa.RT5},
+		},
+		Exits: []Exit{
+			{Kind: ExitFall, Target: 0x401008, BranchPC: 0x401006},
+			{Kind: ExitIndirect, TargetReg: fisa.RT5, BranchPC: 0x401006, Ret: true, ReturnPC: 0x40100B},
+		},
+	}
+}
+
+func sizeOf(t *Translation) int {
+	s := 0
+	for i := range t.Uops {
+		s += fisa.EncodedLen(&t.Uops[i])
+	}
+	return s
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	src := New("src", 0x1000, 1<<20)
+	tr := persistFixture()
+	tr.Size = sizeOf(tr)
+	if _, err := src.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New("dst", 0x2000, 1<<20)
+	n, err := dst.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d", n)
+	}
+	got := dst.Lookup(0x401000)
+	if got == nil {
+		t.Fatal("translation not restored")
+	}
+	if got.Kind != tr.Kind || got.NumX86 != tr.NumX86 || got.X86Bytes != tr.X86Bytes {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Uops) != len(tr.Uops) {
+		t.Fatalf("uops %d vs %d", len(got.Uops), len(tr.Uops))
+	}
+	for i := range tr.Uops {
+		a, b := tr.Uops[i], got.Uops[i]
+		if a.Op != b.Op || a.Fused != b.Fused || a.Dst != b.Dst || a.Imm != b.Imm ||
+			a.X86PC != b.X86PC || a.Boundary != b.Boundary {
+			t.Errorf("µop %d: %v vs %v", i, a, b)
+		}
+	}
+	for i := range tr.Exits {
+		a, b := tr.Exits[i], got.Exits[i]
+		a.Chained, b.Chained = nil, nil
+		a.Count, b.Count = 0, 0
+		if a != b {
+			t.Errorf("exit %d: %+v vs %+v", i, a, b)
+		}
+	}
+	// The restored translation got a fresh address in the new cache.
+	if got.Addr < 0x2000 {
+		t.Errorf("restored addr %#x outside destination cache", got.Addr)
+	}
+}
+
+func TestPersistManyTranslations(t *testing.T) {
+	src := New("src", 0, 1<<20)
+	for i := 0; i < 50; i++ {
+		tr := persistFixture()
+		tr.EntryPC = uint32(0x400000 + i*16)
+		tr.Size = sizeOf(tr)
+		if _, err := src.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New("dst", 0, 1<<20)
+	n, err := dst.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || dst.Len() != 50 {
+		t.Fatalf("restored %d (len %d)", n, dst.Len())
+	}
+}
+
+func TestPersistBadInput(t *testing.T) {
+	dst := New("dst", 0, 1<<20)
+	if _, err := dst.Load(strings.NewReader("XXXXX garbage")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := dst.Load(strings.NewReader("CCVM1")); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Valid magic, implausible count then EOF.
+	if _, err := dst.Load(strings.NewReader("CCVM1\xff\xff\xff\xff")); err == nil {
+		t.Error("truncated body accepted")
+	}
+}

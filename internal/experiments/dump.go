@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/machine"
+	"codesignvm/internal/workload"
+	"codesignvm/internal/x86"
+)
+
+// DumpTranslations runs a benchmark briefly on a machine model and
+// renders the hottest translations as annotated listings: architected
+// instructions interleaved with their micro-ops, fusible-bit markers
+// ("+" heads a macro-op pair), encoded bytes and exits. It is the
+// debugging/inspection view of the translation system.
+func DumpTranslations(app string, m machine.Model, scale int, instrs uint64, top int) (string, error) {
+	prog, err := workload.App(app, scale)
+	if err != nil {
+		return "", err
+	}
+	if instrs == 0 {
+		instrs = 2_000_000
+	}
+	if top <= 0 {
+		top = 3
+	}
+	vm := machine.NewVM(m, prog)
+	if _, err := vm.Run(instrs); err != nil {
+		return "", err
+	}
+
+	bbtC, sbtC := vm.Caches()
+	var all []*codecache.Translation
+	bbtC.ForEach(func(t *codecache.Translation) { all = append(all, t) })
+	sbtC.ForEach(func(t *codecache.Translation) { all = append(all, t) })
+	sort.Slice(all, func(i, j int) bool { return all[i].ExecCount > all[j].ExecCount })
+	if len(all) > top {
+		all = all[:top]
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %v — %d hottest translations after %d instructions\n\n",
+		app, m, len(all), instrs)
+	for _, t := range all {
+		sb.WriteString(FormatTranslation(t, vm.Mem))
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// FormatTranslation renders one translation as an annotated listing.
+func FormatTranslation(t *codecache.Translation, mem *x86.Memory) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s translation @ %#x (code cache %#x, %d bytes)\n",
+		t.Kind, t.EntryPC, t.Addr, t.Size)
+	fmt.Fprintf(&sb, "  %d x86 instrs, %d µops, %d fused pairs (%.0f%% µops fused), depth %d, executed %d times\n",
+		t.NumX86, t.NumUops, t.FusedPairs, 100*t.FusedFraction(), t.Depth, t.ExecCount)
+
+	lastPC := uint32(0)
+	for i := range t.Uops {
+		u := &t.Uops[i]
+		if u.X86PC != lastPC && u.X86PC != 0 && mem != nil {
+			if in, err := x86.DecodeMem(mem, u.X86PC); err == nil {
+				fmt.Fprintf(&sb, "  %08x:  %v\n", u.X86PC, in)
+			}
+			lastPC = u.X86PC
+		}
+		enc, err := fisa.Encode(nil, u)
+		encStr := "??"
+		if err == nil {
+			encStr = fmt.Sprintf("% x", enc)
+		}
+		mark := " "
+		if u.Fused {
+			mark = "+"
+		}
+		bmark := ""
+		if u.Boundary > 0 {
+			bmark = fmt.Sprintf("  ; retires %d", u.Boundary)
+		}
+		fmt.Fprintf(&sb, "    [%3d] %-12s %s%v%s\n", i, encStr, mark, *u, bmark)
+	}
+	for i := range t.Exits {
+		e := &t.Exits[i]
+		extra := ""
+		if e.Call {
+			extra = " (call)"
+		}
+		if e.Ret {
+			extra = " (ret)"
+		}
+		switch e.Kind {
+		case codecache.ExitIndirect:
+			fmt.Fprintf(&sb, "  exit %d: %v via %v%s, taken %d\n", i, e.Kind, e.TargetReg, extra, e.Count)
+		case codecache.ExitHalt:
+			fmt.Fprintf(&sb, "  exit %d: halt, taken %d\n", i, e.Count)
+		default:
+			fmt.Fprintf(&sb, "  exit %d: %v -> %#x%s, taken %d\n", i, e.Kind, e.Target, extra, e.Count)
+		}
+	}
+	return sb.String()
+}

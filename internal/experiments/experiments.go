@@ -1,0 +1,291 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness runs the required machine
+// configurations over the Winstone2004-like workload suite and emits the
+// same rows/series the paper reports (normalized aggregate-IPC startup
+// curves, frequency histograms, breakeven points, cycle breakdowns and
+// hardware-assist activity). DESIGN.md §4 maps experiment IDs to these
+// functions; EXPERIMENTS.md records measured-vs-paper values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"codesignvm/internal/machine"
+	"codesignvm/internal/metrics"
+	"codesignvm/internal/vmm"
+	"codesignvm/internal/workload"
+)
+
+// Options scales and scopes an experiment run.
+type Options struct {
+	// Scale divides the paper-sized workload footprints and trace
+	// lengths (DESIGN.md §6). Scale 25 is the default reporting scale;
+	// Scale 1 reproduces full-paper sizing.
+	Scale int
+	// LongInstrs is the 500M-equivalent trace length (default 500M/Scale).
+	LongInstrs uint64
+	// ShortInstrs is the 100M-equivalent trace length (default 100M/Scale).
+	ShortInstrs uint64
+	// Apps restricts the benchmark set (default: the full suite).
+	Apps []string
+	// Sequential disables per-app parallelism (useful for benchmarks).
+	Sequential bool
+	// HotThreshold overrides the Eq. 2 hot threshold (0 keeps the model
+	// default: 8000 for BBT-based schemes, 25 for interpretation). The
+	// interpreted-mode threshold is scaled proportionally. Used for
+	// threshold-sensitivity studies and fast smoke runs.
+	HotThreshold uint64
+}
+
+// configFor builds the vmm configuration for a model under these
+// options.
+func (o Options) configFor(m machine.Model) vmm.Config {
+	cfg := machine.Config(m)
+	if o.HotThreshold > 0 {
+		if cfg.Strategy == vmm.StratInterp {
+			t := o.HotThreshold * 25 / 8000
+			if t < 2 {
+				t = 2
+			}
+			cfg.HotThreshold = t
+		} else {
+			cfg.HotThreshold = o.HotThreshold
+		}
+	}
+	return cfg
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale < 1 {
+		o.Scale = 25
+	}
+	if o.LongInstrs == 0 {
+		o.LongInstrs = 500_000_000 / uint64(o.Scale)
+	}
+	if o.ShortInstrs == 0 {
+		o.ShortInstrs = 100_000_000 / uint64(o.Scale)
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = workload.Names()
+	}
+	return o
+}
+
+// forEachApp runs fn for every app, in parallel unless disabled, and
+// returns the first error.
+func (o Options) forEachApp(fn func(app string) error) error {
+	if o.Sequential {
+		for _, app := range o.Apps {
+			if err := fn(app); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(o.Apps))
+	for i, app := range o.Apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			errs[i] = fn(app)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleAt linearly interpolates an arbitrary cumulative field of the
+// sample series at the given cycle count.
+func sampleAt(samples []vmm.Sample, cycles float64, get func(vmm.Sample) float64) float64 {
+	if len(samples) == 0 || cycles <= 0 {
+		return 0
+	}
+	if cycles <= samples[0].Cycles {
+		if samples[0].Cycles == 0 {
+			return get(samples[0])
+		}
+		return get(samples[0]) * cycles / samples[0].Cycles
+	}
+	idx := sort.Search(len(samples), func(i int) bool { return samples[i].Cycles >= cycles })
+	if idx >= len(samples) {
+		last := samples[len(samples)-1]
+		if last.Cycles == 0 {
+			return get(last)
+		}
+		return get(last) * cycles / last.Cycles
+	}
+	a, b := samples[idx-1], samples[idx]
+	if b.Cycles == a.Cycles {
+		return get(b)
+	}
+	f := (cycles - a.Cycles) / (b.Cycles - a.Cycles)
+	return get(a) + f*(get(b)-get(a))
+}
+
+// StartupCurves is the Fig. 2 / Fig. 8 result: normalized aggregate-IPC
+// startup curves (harmonic mean across benchmarks) on a log-cycle grid.
+type StartupCurves struct {
+	Opt    Options
+	Models []machine.Model
+	Grid   []float64
+	// Curves[model] is the normalized aggregate IPC at each grid point.
+	Curves map[machine.Model][]float64
+	// SteadyNorm[model] is the model's steady-state IPC normalized to
+	// Ref's (the horizontal line in the figures).
+	SteadyNorm map[machine.Model]float64
+	// Breakeven[model] is the harmonic-mean-over-apps breakeven point in
+	// cycles (0 when the model never catches Ref within the traces).
+	Breakeven map[machine.Model]float64
+
+	perApp map[string]map[machine.Model]*vmm.Result
+}
+
+// Result returns the per-app raw result for further analysis.
+func (s *StartupCurves) Result(app string, m machine.Model) *vmm.Result {
+	return s.perApp[app][m]
+}
+
+// runStartup executes the given models across the suite and assembles
+// the startup-curve report.
+func runStartup(opt Options, models []machine.Model) (*StartupCurves, error) {
+	opt = opt.withDefaults()
+	out := &StartupCurves{
+		Opt:        opt,
+		Models:     models,
+		Curves:     map[machine.Model][]float64{},
+		SteadyNorm: map[machine.Model]float64{},
+		Breakeven:  map[machine.Model]float64{},
+		perApp:     map[string]map[machine.Model]*vmm.Result{},
+	}
+	var mu sync.Mutex
+	err := opt.forEachApp(func(app string) error {
+		prog, err := workload.App(app, opt.Scale)
+		if err != nil {
+			return err
+		}
+		results := map[machine.Model]*vmm.Result{}
+		for _, m := range models {
+			res, err := machine.RunConfig(opt.configFor(m), prog, opt.LongInstrs)
+			if err != nil {
+				return fmt.Errorf("%s on %v: %w", app, m, err)
+			}
+			results[m] = res
+		}
+		mu.Lock()
+		out.perApp[app] = results
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Grid: up to the longest Ref run.
+	maxCycles := 0.0
+	for _, results := range out.perApp {
+		if ref, ok := results[machine.Ref]; ok && ref.Cycles > maxCycles {
+			maxCycles = ref.Cycles
+		}
+	}
+	if maxCycles == 0 {
+		maxCycles = 1e6
+	}
+	out.Grid = metrics.LogGrid(1e3, maxCycles, 4)
+
+	// Per-app reference steady IPC for normalization.
+	refSteady := map[string]float64{}
+	for app, results := range out.perApp {
+		if ref, ok := results[machine.Ref]; ok {
+			refSteady[app] = metrics.SteadyIPC(ref.Samples, 0.5)
+		}
+	}
+
+	for _, m := range models {
+		curve := make([]float64, len(out.Grid))
+		for gi, c := range out.Grid {
+			vals := make([]float64, 0, len(opt.Apps))
+			for app, results := range out.perApp {
+				res := results[m]
+				rs := refSteady[app]
+				if res == nil || rs <= 0 {
+					continue
+				}
+				vals = append(vals, metrics.InstrsAt(res.Samples, c)/c/rs)
+			}
+			curve[gi] = metrics.HarmonicMean(vals)
+		}
+		out.Curves[m] = curve
+
+		// Steady-state line and breakeven.
+		var steadies, bes []float64
+		for app, results := range out.perApp {
+			res := results[m]
+			rs := refSteady[app]
+			if res == nil || rs <= 0 {
+				continue
+			}
+			steadies = append(steadies, metrics.SteadyIPC(res.Samples, 0.5)/rs)
+			if m != machine.Ref {
+				ref := results[machine.Ref]
+				if be, ok := metrics.Breakeven(ref.Samples, res.Samples); ok {
+					bes = append(bes, be)
+				}
+				_ = app
+			}
+		}
+		out.SteadyNorm[m] = metrics.HarmonicMean(steadies)
+		if len(bes) == len(opt.Apps) && m != machine.Ref {
+			out.Breakeven[m] = metrics.HarmonicMean(bes)
+		}
+	}
+	return out, nil
+}
+
+// Fig2 reproduces Figure 2: startup performance of the software-only
+// staged VMs (BBT+SBT and Interp+SBT) against the reference superscalar.
+func Fig2(opt Options) (*StartupCurves, error) {
+	return runStartup(opt, []machine.Model{machine.Ref, machine.VMSoft, machine.VMInterp})
+}
+
+// Fig8 reproduces Figure 8: startup performance with the hardware
+// assists (VM.be, VM.fe) added to the Figure 2 comparison.
+func Fig8(opt Options) (*StartupCurves, error) {
+	return runStartup(opt, []machine.Model{machine.Ref, machine.VMSoft, machine.VMBE, machine.VMFE})
+}
+
+// FormatStartup renders a startup-curve report as a text table.
+func FormatStartup(s *StartupCurves, title string) string {
+	out := title + "\n"
+	out += fmt.Sprintf("%-14s", "cycles")
+	for _, m := range s.Models {
+		out += fmt.Sprintf("%12s", m)
+	}
+	out += "\n"
+	// Thin the grid for printing: every 4th point (one per decade).
+	for gi := 0; gi < len(s.Grid); gi += 4 {
+		out += fmt.Sprintf("%-14.3g", s.Grid[gi])
+		for _, m := range s.Models {
+			out += fmt.Sprintf("%12.3f", s.Curves[m][gi])
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("%-14s", "steady")
+	for _, m := range s.Models {
+		out += fmt.Sprintf("%12.3f", s.SteadyNorm[m])
+	}
+	out += "\n"
+	for _, m := range s.Models {
+		if be, ok := s.Breakeven[m]; ok && be > 0 {
+			out += fmt.Sprintf("breakeven %v: %.3g cycles\n", m, be)
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"codesignvm/internal/machine"
+	"codesignvm/internal/metrics"
+	"codesignvm/internal/vmm"
+	"codesignvm/internal/workload"
+)
+
+// Extension experiments beyond the paper's evaluation section, following
+// its motivation (§1.1) and related work (§1.2):
+//
+//   - PersistentStartup: FX!32-style translate-once/reuse-later — how
+//     much of the startup transient disappears when a previous run's
+//     translations are preloaded;
+//   - CodeCachePressure: the multitasking-server concern — a limited
+//     code cache forces flushes and hotspot re-translations.
+
+// PersistRow is one benchmark's persistent-startup comparison.
+type PersistRow struct {
+	ColdCycles   float64 // VM.soft, empty code caches
+	WarmCycles   float64 // VM.soft, preloaded translations
+	RefCycles    float64 // conventional superscalar
+	Translations int     // translations restored
+	// Breakeven vs Ref, cold and preloaded (0 = never in trace).
+	ColdBreakeven float64
+	WarmBreakeven float64
+}
+
+// PersistReport is the persistent-translation experiment result.
+type PersistReport struct {
+	Opt    Options
+	PerApp map[string]PersistRow
+}
+
+// PersistentStartup measures startup with and without preloaded
+// translations (the FX!32 strategy of §1.2 applied to the co-designed
+// VM).
+func PersistentStartup(opt Options) (*PersistReport, error) {
+	opt = opt.withDefaults()
+	rep := &PersistReport{Opt: opt, PerApp: map[string]PersistRow{}}
+	var mu sync.Mutex
+	err := opt.forEachApp(func(app string) error {
+		prog, err := workload.App(app, opt.Scale)
+		if err != nil {
+			return err
+		}
+		cfg := opt.configFor(machine.VMSoft)
+
+		ref, err := machine.RunConfig(opt.configFor(machine.Ref), prog, opt.LongInstrs)
+		if err != nil {
+			return err
+		}
+
+		// Cold run; save its translations.
+		vmCold := vmm.New(cfg, prog.Memory(), prog.InitState())
+		cold, err := vmCold.Run(opt.LongInstrs)
+		if err != nil {
+			return err
+		}
+		var saved bytes.Buffer
+		if err := vmCold.SaveTranslations(&saved); err != nil {
+			return err
+		}
+
+		// Preloaded run.
+		vmWarm := vmm.New(cfg, prog.Memory(), prog.InitState())
+		n, err := vmWarm.LoadTranslations(&saved)
+		if err != nil {
+			return err
+		}
+		warm, err := vmWarm.Run(opt.LongInstrs)
+		if err != nil {
+			return err
+		}
+
+		row := PersistRow{
+			ColdCycles:   cold.Cycles,
+			WarmCycles:   warm.Cycles,
+			RefCycles:    ref.Cycles,
+			Translations: n,
+		}
+		if be, ok := metrics.Breakeven(ref.Samples, cold.Samples); ok {
+			row.ColdBreakeven = be
+		}
+		if be, ok := metrics.Breakeven(ref.Samples, warm.Samples); ok {
+			row.WarmBreakeven = be
+		}
+		mu.Lock()
+		rep.PerApp[app] = row
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// FormatPersist renders the persistent-startup table.
+func FormatPersist(r *PersistReport) string {
+	out := "Extension — persistent translations (FX!32-style reuse)\n"
+	out += fmt.Sprintf("%-12s %12s %12s %12s %8s %12s %12s\n",
+		"app", "cold cyc", "warm cyc", "ref cyc", "xlations", "cold-BE", "warm-BE")
+	for _, app := range sortedApps(r.Opt.Apps) {
+		row, ok := r.PerApp[app]
+		if !ok {
+			continue
+		}
+		be := func(v float64) string {
+			if v <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.3g", v)
+		}
+		out += fmt.Sprintf("%-12s %12.4g %12.4g %12.4g %8d %12s %12s\n",
+			app, row.ColdCycles, row.WarmCycles, row.RefCycles,
+			row.Translations, be(row.ColdBreakeven), be(row.WarmBreakeven))
+	}
+	return out
+}
+
+// PressureRow is one code-cache-size point of the pressure sweep.
+type PressureRow struct {
+	CacheBytes uint32 // capacity of each code cache (BBT and SBT)
+	Cycles     float64
+	IPC        float64
+	BBTFlushes uint64
+	SBTFlushes uint64
+	BBTXlate   uint64 // block translations (re-translations included)
+	SBTXlate   uint64 // superblock translations (re-translations included)
+	Coverage   float64
+}
+
+// PressureReport is the code-cache pressure sweep result.
+type PressureReport struct {
+	Opt  Options
+	App  string
+	Rows []PressureRow
+}
+
+// CodeCachePressure sweeps the code-cache capacities (BBT and SBT) on
+// one benchmark, quantifying §1.1's multitasking concern: a limited code
+// cache causes flushes and re-translations that prolong the startup
+// transient indefinitely.
+func CodeCachePressure(opt Options, app string, sizes []uint32) (*PressureReport, error) {
+	opt = opt.withDefaults()
+	if app == "" {
+		app = "Word"
+	}
+	if len(sizes) == 0 {
+		sizes = []uint32{1 << 10, 4 << 10, 16 << 10, 64 << 10, 4 << 20}
+	}
+	prog, err := workload.App(app, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PressureReport{Opt: opt, App: app}
+	for _, size := range sizes {
+		cfg := opt.configFor(machine.VMSoft)
+		cfg.BBTCacheSize = size
+		cfg.SBTCacheSize = size
+		vm := vmm.New(cfg, prog.Memory(), prog.InitState())
+		res, err := vm.Run(opt.LongInstrs)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		bbtC, sbtC := vm.Caches()
+		rep.Rows = append(rep.Rows, PressureRow{
+			CacheBytes: size,
+			Cycles:     res.Cycles,
+			IPC:        res.IPC(),
+			BBTFlushes: bbtC.Stats().Flushes,
+			SBTFlushes: sbtC.Stats().Flushes,
+			BBTXlate:   res.BBTTranslations,
+			SBTXlate:   res.SBTTranslations,
+			Coverage:   res.HotspotCoverage(),
+		})
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].CacheBytes < rep.Rows[j].CacheBytes })
+	return rep, nil
+}
+
+// FormatPressure renders the sweep.
+func FormatPressure(r *PressureReport) string {
+	out := fmt.Sprintf("Extension — code-cache pressure sweep (%s)\n", r.App)
+	out += fmt.Sprintf("%12s %12s %8s %9s %9s %10s %10s %10s\n",
+		"cache bytes", "cycles", "IPC", "bbt-xl", "sbt-xl", "bbt-flush", "sbt-flush", "coverage")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%12d %12.4g %8.3f %9d %9d %10d %10d %9.1f%%\n",
+			row.CacheBytes, row.Cycles, row.IPC, row.BBTXlate, row.SBTXlate,
+			row.BBTFlushes, row.SBTFlushes, 100*row.Coverage)
+	}
+	return out
+}

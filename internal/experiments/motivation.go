@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"codesignvm/internal/machine"
+	"codesignvm/internal/metrics"
+	"codesignvm/internal/vmm"
+	"codesignvm/internal/workload"
+)
+
+// Motivation experiments: quantitative versions of the paper's §1.1
+// bullet list of situations where slow startup hurts a co-designed VM.
+
+// ColdStartRow summarizes one machine's behaviour on the boot-like
+// workload (§1.1: "OS boot-up or shut-down").
+type ColdStartRow struct {
+	Cycles     float64
+	Instrs     uint64
+	IPC        float64
+	XlatePct   float64 // cycles spent translating
+	VsRef      float64 // cycles relative to Ref
+	Breakeven  float64 // 0 = never
+	TraceRatio float64 // breakeven / ref trace cycles
+}
+
+// ColdStartReport compares all machines on the boot-like workload.
+type ColdStartReport struct {
+	Opt    Options
+	Models []machine.Model
+	Rows   map[machine.Model]ColdStartRow
+}
+
+// ColdStart runs the BootLike workload — a huge once-executed footprint
+// with almost no hotspots — across the machine models. It reproduces the
+// §1.1 claim that cold-code-dominated phases are where BBT overhead (and
+// therefore the hardware assists) matter most.
+func ColdStart(opt Options) (*ColdStartReport, error) {
+	opt = opt.withDefaults()
+	prog, err := workload.Generate(workload.BootLike, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	models := []machine.Model{machine.Ref, machine.VMSoft, machine.VMBE, machine.VMFE, machine.VMInterp}
+	rep := &ColdStartReport{Opt: opt, Models: models, Rows: map[machine.Model]ColdStartRow{}}
+
+	budget := opt.ShortInstrs
+	ref, err := machine.RunConfig(opt.configFor(machine.Ref), prog, budget)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range models {
+		res := ref
+		if m != machine.Ref {
+			res, err = machine.RunConfig(opt.configFor(m), prog, budget)
+			if err != nil {
+				return nil, fmt.Errorf("%v: %w", m, err)
+			}
+		}
+		row := ColdStartRow{
+			Cycles:   res.Cycles,
+			Instrs:   res.Instrs,
+			IPC:      res.IPC(),
+			XlatePct: 100 * (res.Cat[vmm.CatBBTXlate] + res.Cat[vmm.CatSBTXlate]) / res.Cycles,
+			VsRef:    res.Cycles / ref.Cycles,
+		}
+		if m != machine.Ref {
+			if be, ok := metrics.Breakeven(ref.Samples, res.Samples); ok {
+				row.Breakeven = be
+				row.TraceRatio = be / ref.Cycles
+			}
+		}
+		rep.Rows[m] = row
+	}
+	return rep, nil
+}
+
+// FormatColdStart renders the boot-like comparison.
+func FormatColdStart(r *ColdStartReport) string {
+	out := "Extension — OS-boot-like cold start (§1.1): huge once-run footprint\n"
+	out += fmt.Sprintf("%-12s %12s %8s %10s %8s %12s\n",
+		"model", "cycles", "IPC", "xlate%", "vs Ref", "breakeven")
+	for _, m := range r.Models {
+		row := r.Rows[m]
+		be := "-"
+		if row.Breakeven > 0 {
+			be = fmt.Sprintf("%.3g", row.Breakeven)
+		}
+		out += fmt.Sprintf("%-12v %12.4g %8.3f %10.2f %8.2f %12s\n",
+			m, row.Cycles, row.IPC, row.XlatePct, row.VsRef, be)
+	}
+	return out
+}
+
+// SwitchRow is one context-switch-period point.
+type SwitchRow struct {
+	PeriodInstrs uint64
+	RefCycles    float64
+	SoftCycles   float64
+	FECycles     float64
+	SoftSlowdown float64 // soft/ref
+	FESlowdown   float64 // fe/ref
+}
+
+// SwitchReport is the §1.1 multitasking experiment result.
+type SwitchReport struct {
+	Opt  Options
+	App  string
+	Rows []SwitchRow
+}
+
+// ContextSwitch emulates frequent context switches among
+// resource-competing tasks (§1.1): at each switch the processor caches
+// and predictors are wiped (another task ran) while translations stay
+// resident in concealed memory. With smaller periods, the conventional
+// processor and the VM both re-warm their caches — but the VM's startup
+// overhead has already been paid once, so its *relative* behaviour shows
+// how the transient phases accumulate.
+func ContextSwitch(opt Options, app string, periods []uint64) (*SwitchReport, error) {
+	opt = opt.withDefaults()
+	if app == "" {
+		app = "Outlook"
+	}
+	if len(periods) == 0 {
+		periods = []uint64{0, 2_000_000, 500_000, 100_000}
+	}
+	prog, err := workload.App(app, opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SwitchReport{Opt: opt, App: app}
+
+	runWithSwitches := func(m machine.Model, period uint64) (float64, error) {
+		vm := vmm.New(opt.configFor(m), prog.Memory(), prog.InitState())
+		total := opt.ShortInstrs
+		if period == 0 || period >= total {
+			res, err := vm.Run(total)
+			if err != nil {
+				return 0, err
+			}
+			return res.Cycles, nil
+		}
+		var res *vmm.Result
+		for done := uint64(0); done < total; done += period {
+			res, err = vm.Run(done + period)
+			if err != nil {
+				return 0, err
+			}
+			// The context switch: another task evicted the caches and
+			// polluted the predictors; translations survive in memory.
+			vm.Engine().Caches.Flush()
+			vm.Engine().Pred.Reset()
+		}
+		return res.Cycles, nil
+	}
+
+	for _, period := range periods {
+		row := SwitchRow{PeriodInstrs: period}
+		if row.RefCycles, err = runWithSwitches(machine.Ref, period); err != nil {
+			return nil, err
+		}
+		if row.SoftCycles, err = runWithSwitches(machine.VMSoft, period); err != nil {
+			return nil, err
+		}
+		if row.FECycles, err = runWithSwitches(machine.VMFE, period); err != nil {
+			return nil, err
+		}
+		row.SoftSlowdown = row.SoftCycles / row.RefCycles
+		row.FESlowdown = row.FECycles / row.RefCycles
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// FormatSwitch renders the context-switch sweep.
+func FormatSwitch(r *SwitchReport) string {
+	out := fmt.Sprintf("Extension — context-switch sensitivity (%s, §1.1 multitasking)\n", r.App)
+	out += fmt.Sprintf("%14s %12s %12s %12s %10s %10s\n",
+		"period instrs", "Ref cyc", "soft cyc", "fe cyc", "soft/ref", "fe/ref")
+	for _, row := range r.Rows {
+		p := "none"
+		if row.PeriodInstrs > 0 {
+			p = fmt.Sprintf("%d", row.PeriodInstrs)
+		}
+		out += fmt.Sprintf("%14s %12.4g %12.4g %12.4g %10.3f %10.3f\n",
+			p, row.RefCycles, row.SoftCycles, row.FECycles, row.SoftSlowdown, row.FESlowdown)
+	}
+	return out
+}

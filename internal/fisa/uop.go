@@ -1,0 +1,384 @@
+// Package fisa defines the implementation ("fusible") instruction set of
+// the co-designed virtual machine: RISC-like 16-bit/32-bit micro-ops with
+// a fusible head bit that lets the dynamic optimizer pair dependent
+// micro-ops into macro-ops processed as single entities by the pipeline
+// (Hu & Smith, HPCA 2006). The package provides the micro-op model, its
+// binary encoding, the macro-op fusion legality rules, and a functional
+// executor used to run translations against architected memory.
+package fisa
+
+import (
+	"fmt"
+
+	"codesignvm/internal/x86"
+)
+
+// Reg names one of the 32 native general-purpose registers.
+type Reg uint8
+
+// Native register conventions. R0-R7 shadow the architected x86
+// registers; the remaining registers are available to the translator and
+// the VMM (concealed from architected software).
+const (
+	// Architected state mapping.
+	REAX Reg = 0
+	RECX Reg = 1
+	REDX Reg = 2
+	REBX Reg = 3
+	RESP Reg = 4
+	REBP Reg = 5
+	RESI Reg = 6
+	REDI Reg = 7
+	// Translator temporaries.
+	RT0 Reg = 8
+	RT1 Reg = 9
+	RT2 Reg = 10
+	RT3 Reg = 11
+	RT4 Reg = 12
+	RT5 Reg = 13
+	// VMM scratch registers.
+	RV0 Reg = 16
+	RV1 Reg = 17
+	RV2 Reg = 18
+	// HAloop registers (Fig. 6 of the paper).
+	RX86PC  Reg = 24 // architected PC during hardware-assisted BBT
+	RCODEPT Reg = 25 // code-cache write pointer
+	RCSR    Reg = 26 // CSR shadow for the XLTx86 status register
+
+	// NumRegs is the native register count.
+	NumRegs = 32
+)
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op is a micro-op opcode.
+type Op uint8
+
+// Micro-op opcodes.
+const (
+	UNOP Op = iota
+
+	// Immediate materialization.
+	UMOVI  // dst = sext(imm16)
+	UMOVIU // dst = imm16 << 16
+	UORILO // dst = dst | uimm16
+
+	// Register ALU.
+	UMOV // dst = src1
+	UADD // dst = src1 + src2
+	USUB // dst = src1 - src2
+	UADC // dst = src1 + src2 + CF
+	USBB // dst = src1 - src2 - CF
+	UAND // dst = src1 & src2
+	UOR  // dst = src1 | src2
+	UXOR // dst = src1 ^ src2
+	USHL // dst = src1 << src2 (x86 shift semantics incl. flags)
+	USHR // dst = src1 >> src2 logical
+	USAR // dst = src1 >> src2 arithmetic
+	UROL // dst = rotl(src1, src2) with x86 rotate flag semantics
+	UROR // dst = rotr(src1, src2)
+	UMUL // dst = low32(src1 * src2) signed
+	UNEG // dst = -src1
+	UNOT // dst = ^src1
+	UINC // dst = src1 + 1 with x86 INC flag semantics (CF preserved)
+	UDEC // dst = src1 - 1 with x86 DEC flag semantics (CF preserved)
+
+	// Microcoded long-operation assists (the implementation ISA's
+	// equivalents of the x86 wide multiply / divide micro-routines).
+	UMULHU // dst = high32(src1 * src2) unsigned; SetF: CF=OF = dst != 0
+	UMULHS // dst = high32(src1 * src2) signed; SetF: CF=OF = product overflows
+	UDIVQ  // dst = (EDX:EAX) / src1 unsigned quotient (faults on 0/overflow)
+	UDIVR  // dst = (EDX:EAX) % src1 unsigned remainder
+	UIDIVQ // signed quotient
+	UIDIVR // signed remainder
+
+	// Immediate ALU (imm is a small signed constant).
+	UADDI
+	USUBI
+	UANDI
+	UORI
+	UXORI
+	USHLI
+	USHRI
+	USARI
+	UROLI // rotate left by immediate (x86 rotate flag semantics)
+	URORI // rotate right by immediate
+
+	// Sub-register manipulation (partial-register x86 semantics).
+	UEXT8H // dst = (src1 >> 8) & 0xFF (reads AH-class byte)
+	UINS8H // dst[15:8] = src1[7:0]    (writes AH-class byte)
+	USEXT8
+	USEXT16
+	UZEXT8
+	UZEXT16
+
+	// Memory. Address is src1 + imm.
+	ULD    // 32-bit load
+	ULD8Z  // 8-bit zero-extending load
+	ULD8S  // 8-bit sign-extending load
+	ULD16Z // 16-bit zero-extending load
+	ULD16S // 16-bit sign-extending load
+	UST    // 32-bit store of src2
+	UST8   // 8-bit store
+	UST16  // 16-bit store
+
+	// Flag producers without register results.
+	UCMP   // flags from src1 - src2
+	UCMPI  // flags from src1 - imm
+	UTEST  // flags from src1 & src2
+	UTESTI // flags from src1 & imm
+
+	USETC // dst = cond(flags) ? 1 : 0 at width W (byte merge)
+	UCMOV // dst = cond(flags) ? src1 : dst (merge at W)
+
+	// Control flow within a translation. Imm is a micro-op index.
+	UBR  // branch to imm when cond holds
+	UJMP // unconditional branch to imm
+
+	// Translation boundary. Imm is an exit descriptor index.
+	UEXIT
+
+	// VMM callout: execute the complex architected instruction the
+	// micro-op stands for via the interpreter, then continue. Imm is an
+	// exit descriptor index used when the callout changes control flow.
+	UCALLOUT
+
+	// XLTx86: the backend hardware-assist instruction (Table 1). It is
+	// modelled architecturally by the hwassist package; the executor
+	// treats it as a VMM-internal primitive.
+	UXLT
+
+	numUops
+)
+
+var uopNames = [numUops]string{
+	UNOP: "nop", UMOVI: "movi", UMOVIU: "moviu", UORILO: "orilo",
+	UMOV: "mov", UADD: "add", USUB: "sub", UADC: "adc", USBB: "sbb",
+	UAND: "and", UOR: "or", UXOR: "xor", USHL: "shl", USHR: "shr",
+	USAR: "sar", UMUL: "mul", UNEG: "neg", UNOT: "not",
+	UADDI: "addi", USUBI: "subi", UANDI: "andi", UORI: "ori",
+	UXORI: "xori", USHLI: "shli", USHRI: "shri", USARI: "sari",
+	UROLI: "roli", URORI: "rori", UROL: "rol", UROR: "ror", UCMOV: "cmov",
+	UINC: "inc", UDEC: "dec",
+	UMULHU: "mulhu", UMULHS: "mulhs",
+	UDIVQ: "divq", UDIVR: "divr", UIDIVQ: "idivq", UIDIVR: "idivr",
+	UEXT8H: "ext8h", UINS8H: "ins8h", USEXT8: "sext8", USEXT16: "sext16",
+	UZEXT8: "zext8", UZEXT16: "zext16",
+	ULD: "ld", ULD8Z: "ld8z", ULD8S: "ld8s", ULD16Z: "ld16z", ULD16S: "ld16s",
+	UST: "st", UST8: "st8", UST16: "st16",
+	UCMP: "cmp", UCMPI: "cmpi", UTEST: "test", UTESTI: "testi",
+	USETC: "setc", UBR: "br", UJMP: "jmp", UEXIT: "exit",
+	UCALLOUT: "callout", UXLT: "xltx86",
+}
+
+func (o Op) String() string {
+	if int(o) < len(uopNames) && uopNames[o] != "" {
+		return uopNames[o]
+	}
+	return fmt.Sprintf("uop%d?", uint8(o))
+}
+
+// MicroOp is a decoded micro-op. The Fused bit marks the head of a
+// macro-op pair: the pipeline issues this micro-op and its successor as a
+// single entity.
+type MicroOp struct {
+	Op    Op
+	Fused bool  // fusible bit (head of macro-op pair)
+	SetF  bool  // updates the architected condition flags
+	W     uint8 // operand width for flag/merge semantics: 1, 2 or 4
+	Dst   Reg
+	Src1  Reg
+	Src2  Reg
+	Imm   int32
+	Cond  x86.Cond // UBR / USETC
+
+	// Translation metadata (not part of the binary encoding).
+	X86PC    uint32 // architected PC of the source instruction
+	Boundary uint8  // architected instructions retiring at this micro-op
+}
+
+func (u MicroOp) String() string {
+	s := u.Op.String()
+	if u.Op == UBR || u.Op == USETC || u.Op == UCMOV {
+		s += "." + u.Cond.String()
+	}
+	if u.SetF {
+		s += ".f"
+	}
+	if u.W != 4 && u.W != 0 {
+		s += fmt.Sprintf(".w%d", u.W)
+	}
+	if u.Fused {
+		s = "+" + s
+	}
+	switch u.Op {
+	case UNOP, UXLT:
+		return s
+	case UEXIT, UCALLOUT, UJMP:
+		return fmt.Sprintf("%s %d", s, u.Imm)
+	case UBR:
+		return fmt.Sprintf("%s %d", s, u.Imm)
+	case UMOVI, UMOVIU, UORILO:
+		return fmt.Sprintf("%s %v, %#x", s, u.Dst, u.Imm)
+	case UST, UST8, UST16:
+		return fmt.Sprintf("%s [%v%+d], %v", s, u.Src1, u.Imm, u.Src2)
+	case ULD, ULD8Z, ULD8S, ULD16Z, ULD16S:
+		return fmt.Sprintf("%s %v, [%v%+d]", s, u.Dst, u.Src1, u.Imm)
+	case UCMP, UTEST:
+		return fmt.Sprintf("%s %v, %v", s, u.Src1, u.Src2)
+	case UCMPI, UTESTI:
+		return fmt.Sprintf("%s %v, %d", s, u.Src1, u.Imm)
+	}
+	if isImmALU(u.Op) {
+		return fmt.Sprintf("%s %v, %v, %d", s, u.Dst, u.Src1, u.Imm)
+	}
+	switch u.Op {
+	case UMOV, UNEG, UNOT, UINC, UDEC, USEXT8, USEXT16, UZEXT8, UZEXT16,
+		UEXT8H, UINS8H, UDIVQ, UDIVR, UIDIVQ, UIDIVR:
+		return fmt.Sprintf("%s %v, %v", s, u.Dst, u.Src1)
+	}
+	return fmt.Sprintf("%s %v, %v, %v", s, u.Dst, u.Src1, u.Src2)
+}
+
+func isImmALU(op Op) bool {
+	switch op {
+	case UADDI, USUBI, UANDI, UORI, UXORI, USHLI, USHRI, USARI, UROLI, URORI:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the micro-op reads memory.
+func (u *MicroOp) IsLoad() bool {
+	switch u.Op {
+	case ULD, ULD8Z, ULD8S, ULD16Z, ULD16S:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the micro-op writes memory.
+func (u *MicroOp) IsStore() bool {
+	switch u.Op {
+	case UST, UST8, UST16:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the micro-op transfers control.
+func (u *MicroOp) IsBranch() bool {
+	switch u.Op {
+	case UBR, UJMP, UEXIT, UCALLOUT:
+		return true
+	}
+	return false
+}
+
+// MemWidth returns the access width of a memory micro-op in bytes.
+func (u *MicroOp) MemWidth() uint8 {
+	switch u.Op {
+	case ULD8Z, ULD8S, UST8:
+		return 1
+	case ULD16Z, ULD16S, UST16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// HasDst reports whether the micro-op writes a destination register.
+func (u *MicroOp) HasDst() bool {
+	switch u.Op {
+	case UNOP, UST, UST8, UST16, UCMP, UCMPI, UTEST, UTESTI, UBR, UJMP, UEXIT, UCALLOUT:
+		return false
+	}
+	return true
+}
+
+// Sources appends the registers the micro-op reads to dst and returns it.
+func (u *MicroOp) Sources(dst []Reg) []Reg {
+	switch u.Op {
+	case UNOP, UMOVI, UMOVIU, UEXIT, UJMP, UBR, UCALLOUT, UXLT, USETC:
+		// UEXIT for indirect targets reads Src1; handled below.
+		if u.Op == UEXIT && u.Src1 != 0 {
+			dst = append(dst, u.Src1)
+		}
+		return dst
+	case UORILO:
+		return append(dst, u.Dst)
+	case UCMOV:
+		return append(dst, u.Src1, u.Dst)
+	case UMOV, UNEG, UNOT, UINC, UDEC, USEXT8, USEXT16, UZEXT8, UZEXT16, UEXT8H,
+		ULD, ULD8Z, ULD8S, ULD16Z, ULD16S, UCMPI, UTESTI:
+		return append(dst, u.Src1)
+	case UINS8H:
+		return append(dst, u.Dst, u.Src1)
+	case UST, UST8, UST16, UCMP, UTEST:
+		return append(dst, u.Src1, u.Src2)
+	case UDIVQ, UDIVR, UIDIVQ, UIDIVR:
+		return append(dst, u.Src1, REAX, REDX)
+	}
+	if isImmALU(u.Op) {
+		return append(dst, u.Src1)
+	}
+	// Three-register ALU.
+	return append(dst, u.Src1, u.Src2)
+}
+
+// readsFlags reports whether the micro-op consumes the condition flags.
+func (u *MicroOp) readsFlags() bool {
+	switch u.Op {
+	case UADC, USBB, UBR, USETC, UCMOV:
+		return true
+	}
+	return false
+}
+
+// singleCycleALU reports whether the micro-op is a one-cycle ALU
+// operation eligible to head a macro-op pair.
+func (u *MicroOp) singleCycleALU() bool {
+	switch u.Op {
+	case UMOV, UMOVI, UMOVIU, UORILO, UADD, USUB, UAND, UOR, UXOR,
+		UADDI, USUBI, UANDI, UORI, UXORI, USHLI, USHRI, USARI, UROLI, URORI,
+		UNEG, UNOT, UINC, UDEC, USEXT8, USEXT16, UZEXT8, UZEXT16, UEXT8H, UINS8H,
+		UCMP, UCMPI, UTEST, UTESTI, UADC, USBB, UCMOV:
+		return true
+	}
+	return false
+}
+
+// CanFuse reports whether head and tail may be fused into a macro-op.
+// The rule follows the fusible-ISA constraints: the head must be a
+// single-cycle ALU micro-op, the tail must consume a value the head
+// produces (a register result, or the condition flags for a
+// flag-producer + conditional-branch pair), and neither may already be
+// part of another pair.
+func CanFuse(head, tail *MicroOp) bool {
+	if head.Fused || tail.Fused {
+		return false
+	}
+	if !head.singleCycleALU() {
+		return false
+	}
+	if tail.Op == UEXIT || tail.Op == UCALLOUT || tail.Op == UJMP || tail.Op == UXLT || tail.Op == UNOP {
+		return false
+	}
+	// Flag dependence: condition-test + branch/set pairs.
+	if head.SetF || head.Op == UCMP || head.Op == UCMPI || head.Op == UTEST || head.Op == UTESTI {
+		if tail.Op == UBR || tail.Op == USETC {
+			return true
+		}
+	}
+	if !head.HasDst() {
+		return false
+	}
+	// Register dependence: tail reads the head's destination.
+	var buf [3]Reg
+	for _, s := range tail.Sources(buf[:0]) {
+		if s == head.Dst {
+			return true
+		}
+	}
+	return false
+}

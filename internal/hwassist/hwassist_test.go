@@ -1,0 +1,195 @@
+package hwassist
+
+import (
+	"math/rand"
+	"testing"
+
+	"codesignvm/internal/crack"
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/x86"
+)
+
+func asmOne(t *testing.T, build func(a *x86.Asm)) *x86.Memory {
+	t.Helper()
+	a := x86.NewAsm(0x400000)
+	build(a)
+	code, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := x86.NewMemory()
+	mem.WriteBytes(0x400000, code)
+	return mem
+}
+
+func TestXLTSimpleInstruction(t *testing.T) {
+	mem := asmOne(t, func(a *x86.Asm) { a.ALU(x86.ADD, 4, x86.R(x86.EAX), x86.R(x86.EBX)) })
+	u := NewXLTUnit()
+	uops, csr, desc, err := u.Translate(mem, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.FlagCmplx {
+		t.Errorf("add should not be complex: %v", csr)
+	}
+	if csr.FlagCti {
+		t.Errorf("add is not a CTI: %v", csr)
+	}
+	if csr.X86ILen != 2 {
+		t.Errorf("ilen = %d, want 2", csr.X86ILen)
+	}
+	if len(uops) != 1 || uops[0].Op != fisa.UADD {
+		t.Errorf("uops = %v", uops)
+	}
+	if desc.Kind != crack.KindNormal {
+		t.Errorf("desc kind = %v", desc.Kind)
+	}
+	if u.Invocations != 1 || u.BusyCycles != 4 {
+		t.Errorf("unit stats: %+v", u)
+	}
+}
+
+func TestXLTComplexInstruction(t *testing.T) {
+	mem := asmOne(t, func(a *x86.Asm) { a.Div(x86.R(x86.ECX)) })
+	u := NewXLTUnit()
+	uops, csr, desc, err := u.Translate(mem, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csr.FlagCmplx {
+		t.Error("div must set Flag_cmplx")
+	}
+	if u.ComplexFallbacks != 1 {
+		t.Errorf("fallbacks = %d", u.ComplexFallbacks)
+	}
+	// The software path still delivers the translation: divides crack to
+	// the microcoded divide assists (no runtime callout).
+	if len(uops) == 0 {
+		t.Fatal("no software translation delivered")
+	}
+	foundDiv := false
+	for i := range uops {
+		if uops[i].Op == fisa.UDIVQ {
+			foundDiv = true
+		}
+		if uops[i].Op == fisa.UCALLOUT {
+			t.Error("divide must not call out")
+		}
+	}
+	if !foundDiv {
+		t.Errorf("uops = %v", uops)
+	}
+	if desc.Kind != crack.KindNormal {
+		t.Errorf("desc kind = %v", desc.Kind)
+	}
+}
+
+func TestXLTCTIFlag(t *testing.T) {
+	mem := asmOne(t, func(a *x86.Asm) { a.Ret() })
+	u := NewXLTUnit()
+	_, csr, _, err := u.Translate(mem, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !csr.FlagCti {
+		t.Error("ret must set Flag_cti")
+	}
+}
+
+func TestXLTUopBytesOverflow(t *testing.T) {
+	// mov [large_disp + idx*8], imm32 cracks into many constant-building
+	// micro-ops; the hardware flags it complex when Fdst would overflow.
+	mem := asmOne(t, func(a *x86.Asm) {
+		a.MovMI(4, x86.MSIB(x86.EBP, x86.EDX, 8, 0x12345678), 0x0BADF00D)
+	})
+	u := NewXLTUnit()
+	uops, csr, _, err := u.Translate(mem, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := 0
+	for i := range uops {
+		bytes += fisa.EncodedLen(&uops[i])
+	}
+	if bytes > FsrcBytes && !csr.FlagCmplx {
+		t.Errorf("cracked to %d bytes but Flag_cmplx not set", bytes)
+	}
+}
+
+// TestXLTMatchesSoftwareCracker is the co-design property: the hardware
+// unit and the software BBT produce identical micro-ops for every
+// instruction they both accept.
+func TestXLTMatchesSoftwareCracker(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	u := NewXLTUnit()
+	for i := 0; i < 2000; i++ {
+		a := x86.NewAsm(0x400000)
+		emitRandomSimple(rng, a)
+		code, err := a.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := x86.NewMemory()
+		mem.WriteBytes(0x400000, code)
+
+		hwUops, _, _, err := u.Translate(mem, 0x400000)
+		if err != nil {
+			t.Fatalf("iter %d: hw: %v", i, err)
+		}
+		in, err := x86.Decode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swUops, _, err := crack.Crack(nil, &in, 0x400000)
+		if err != nil {
+			t.Fatalf("iter %d: sw: %v", i, err)
+		}
+		if len(hwUops) != len(swUops) {
+			t.Fatalf("iter %d (%v): hw %d µops, sw %d", i, in, len(hwUops), len(swUops))
+		}
+		for j := range hwUops {
+			if hwUops[j] != swUops[j] {
+				t.Fatalf("iter %d (%v): µop %d differs: %v vs %v", i, in, j, hwUops[j], swUops[j])
+			}
+		}
+	}
+}
+
+func emitRandomSimple(rng *rand.Rand, a *x86.Asm) {
+	r := func() x86.Reg { return x86.Reg(rng.Intn(8)) }
+	switch rng.Intn(8) {
+	case 0:
+		a.ALU(x86.ADD, 4, x86.R(r()), x86.R(r()))
+	case 1:
+		a.Mov(4, x86.R(r()), x86.M(x86.EBX, int32(rng.Intn(256))))
+	case 2:
+		a.MovRI(r(), rng.Uint32())
+	case 3:
+		a.Push(r())
+	case 4:
+		a.Lea(r(), x86.MSIB(x86.EBX, x86.ESI, 4, 16))
+	case 5:
+		a.ShiftI(x86.SHL, 4, x86.R(r()), uint8(rng.Intn(31)))
+	case 6:
+		a.Setcc(x86.Cond(rng.Intn(16)), x86.R(x86.Reg(rng.Intn(4))))
+	default:
+		a.ALUI(x86.CMP, 4, x86.R(r()), int32(rng.Intn(4096)))
+	}
+}
+
+func TestDualModeBookkeeping(t *testing.T) {
+	d := &DualModeDecoder{}
+	d.OnX86Mode(10)
+	d.OnX86Mode(5)
+	d.OnNativeMode(100)
+	if d.X86Cracks != 15 || d.NativeDecodes != 100 {
+		t.Errorf("%+v", d)
+	}
+}
+
+func TestCSRString(t *testing.T) {
+	c := CSR{X86ILen: 5, UopBytes: 8, FlagCti: true}
+	if c.String() == "" {
+		t.Error("empty CSR string")
+	}
+}

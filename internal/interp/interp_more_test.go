@@ -1,0 +1,240 @@
+package interp
+
+import (
+	"testing"
+
+	"codesignvm/internal/x86"
+)
+
+// Additional interpreter coverage: operand-size prefixes, page-straddling
+// code, byte-register semantics, and flag-edge behaviours that the
+// translators must match.
+
+func TestSixteenBitALU(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0xFFFF0001)
+		a.ALUI(x86.ADD, 2, x86.R(x86.EAX), -2) // ax = 1 + 0xFFFE = 0xFFFF, no carry
+		a.Setcc(x86.CondB, x86.R(x86.EBX))
+		a.MovRI(x86.ECX, 0x0001FFFF)
+		a.ALUI(x86.ADD, 2, x86.R(x86.ECX), 1) // cx wraps to 0, carry at 16 bits
+		a.Setcc(x86.CondB, x86.R(x86.EDX))
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 0xFFFFFFFF {
+		t.Errorf("16-bit merge: eax=%#x", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.EBX]&0xFF != 0 {
+		t.Errorf("16-bit add of 0xFFFE must not carry (ax=0x0001)")
+	}
+	if m.St.R[x86.ECX] != 0x00010000 {
+		t.Errorf("16-bit wrap: ecx=%#x", m.St.R[x86.ECX])
+	}
+	if m.St.R[x86.EDX]&0xFF != 1 {
+		t.Errorf("16-bit carry not detected")
+	}
+}
+
+func TestHighByteRegisters(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0)
+		a.MovRI(x86.EBX, 0x12345678)
+		// mov ah, bl : ah = 0x78
+		a.Mov(1, x86.R(x86.Reg(4)), x86.R(x86.EBX)) // reg code 4 = AH, src code 3 = BL
+		// add bh, ah : bh = 0x56 + 0x78 = 0xCE
+		a.ALU(x86.ADD, 1, x86.R(x86.Reg(7)), x86.R(x86.Reg(4))) // 7 = BH, 4 = AH
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if (m.St.R[x86.EAX]>>8)&0xFF != 0x78 {
+		t.Errorf("ah = %#x, want 0x78", (m.St.R[x86.EAX]>>8)&0xFF)
+	}
+	if (m.St.R[x86.EBX]>>8)&0xFF != 0xCE {
+		t.Errorf("bh = %#x, want 0xce", (m.St.R[x86.EBX]>>8)&0xFF)
+	}
+	// Other bytes untouched.
+	if m.St.R[x86.EBX]&0xFFFF00FF != 0x12340078 {
+		t.Errorf("ebx corrupted: %#x", m.St.R[x86.EBX])
+	}
+}
+
+func TestPageStraddlingCode(t *testing.T) {
+	// Place a multi-byte instruction across a page boundary.
+	a := x86.NewAsm(0x400FFB) // 5-byte mov lands on 0x400FFB..0x400FFF inclusive
+	a.MovRI(x86.EAX, 0xCAFE0001)
+	a.Hlt()
+	code, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := x86.NewMemory()
+	mem.WriteBytes(0x400FFB, code)
+	st := &x86.State{EIP: 0x400FFB}
+	st.R[x86.ESP] = 0x7FF000
+	m := New(st, mem)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[x86.EAX] != 0xCAFE0001 {
+		t.Errorf("straddling decode failed: eax=%#x", st.R[x86.EAX])
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0)
+		a.Call("f1")
+		a.Hlt()
+		a.Label("f1")
+		a.Inc(x86.EAX)
+		a.Call("f2")
+		a.Inc(x86.EAX)
+		a.Ret()
+		a.Label("f2")
+		a.Call("f3")
+		a.Inc(x86.EAX)
+		a.Ret()
+		a.Label("f3")
+		a.Inc(x86.EAX)
+		a.Ret()
+	})
+	sp0 := m.St.R[x86.ESP]
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 4 {
+		t.Errorf("eax = %d, want 4", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.ESP] != sp0 {
+		t.Errorf("stack imbalance after nested calls")
+	}
+}
+
+func TestRetWithImmediate(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.PushI(111) // argument
+		a.PushI(222) // argument
+		a.Call("callee")
+		a.Hlt()
+		a.Label("callee")
+		a.Mov(4, x86.R(x86.EAX), x86.M(x86.ESP, 4)) // top argument (222)
+		a.RetI(8)                                   // pop both arguments
+	})
+	sp0 := m.St.R[x86.ESP]
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 222 {
+		t.Errorf("arg read failed: eax=%d", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.ESP] != sp0 {
+		t.Errorf("ret imm16 did not clean the stack: %#x vs %#x", m.St.R[x86.ESP], sp0)
+	}
+}
+
+func TestShiftByCLMasking(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 1)
+		a.MovRI(x86.ECX, 33) // masked to 1 by hardware
+		a.ShiftCL(x86.SHL, 4, x86.R(x86.EAX))
+		a.MovRI(x86.EDX, 0xF0)
+		a.MovRI(x86.ECX, 32)                     // masked to 0: no change, flags preserved
+		a.ALUI(x86.CMP, 4, x86.R(x86.EDX), 0xF0) // set ZF
+		a.ShiftCL(x86.SHR, 4, x86.R(x86.EDX))
+		a.Setcc(x86.CondE, x86.R(x86.EBX)) // ZF must survive the 0-count shift
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 2 {
+		t.Errorf("shl by masked 33: eax=%d, want 2", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.EDX] != 0xF0 {
+		t.Errorf("shift by masked 32 changed value: %#x", m.St.R[x86.EDX])
+	}
+	if m.St.R[x86.EBX]&0xFF != 1 {
+		t.Errorf("0-count shift clobbered flags")
+	}
+}
+
+func TestSignedConditions(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0x80000000) // INT_MIN
+		a.ALUI(x86.CMP, 4, x86.R(x86.EAX), 1)
+		a.Setcc(x86.CondL, x86.R(x86.EBX)) // signed: INT_MIN < 1
+		a.Setcc(x86.CondB, x86.R(x86.ECX)) // unsigned: 0x80000000 > 1 → 0
+		a.Setcc(x86.CondO, x86.R(x86.EDX)) // overflow: INT_MIN - 1 overflows
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EBX]&0xFF != 1 {
+		t.Error("signed less failed")
+	}
+	if m.St.R[x86.ECX]&0xFF != 0 {
+		t.Error("unsigned below should be false")
+	}
+	if m.St.R[x86.EDX]&0xFF != 1 {
+		t.Error("overflow flag missing")
+	}
+}
+
+func TestMul1ImulFlags(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0x10000)
+		a.MovRI(x86.EBX, 0x10000)
+		a.Mul1(x86.R(x86.EBX)) // 2^32: edx=1, eax=0, CF/OF set
+		a.Setcc(x86.CondB, x86.R(x86.ECX))
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EDX] != 1 || m.St.R[x86.EAX] != 0 {
+		t.Errorf("wide mul: edx:eax = %#x:%#x", m.St.R[x86.EDX], m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.ECX]&0xFF != 1 {
+		t.Error("mul overflow must set CF")
+	}
+}
+
+func TestXchgAndCmov(t *testing.T) {
+	const slot = 0x100040
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 111)
+		a.MovRI(x86.EBX, 222)
+		a.Xchg(4, x86.R(x86.EAX), x86.EBX)
+		a.MovRI(x86.ECX, 0x100000)
+		a.MovMI(4, x86.M(x86.ECX, 0x40), 999)
+		a.Xchg(4, x86.M(x86.ECX, 0x40), x86.EAX) // eax<->mem
+		// cmov: taken and not taken.
+		a.ALUI(x86.CMP, 4, x86.R(x86.EBX), 111)
+		a.MovRI(x86.EDX, 5)
+		a.Cmov(x86.CondE, x86.EDX, x86.R(x86.EBX))  // taken: edx = 111
+		a.Cmov(x86.CondNE, x86.EDX, x86.R(x86.EAX)) // not taken
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 999 {
+		t.Errorf("xchg mem: eax=%d", m.St.R[x86.EAX])
+	}
+	if got := m.Mem.Read32(slot); got != 222 {
+		t.Errorf("xchg mem slot=%d, want 222", got)
+	}
+	if m.St.R[x86.EBX] != 111 {
+		t.Errorf("xchg regs: ebx=%d", m.St.R[x86.EBX])
+	}
+	if m.St.R[x86.EDX] != 111 {
+		t.Errorf("cmov: edx=%d, want 111", m.St.R[x86.EDX])
+	}
+}
+
+func TestRotates(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0x80000001)
+		a.ShiftI(x86.ROL, 4, x86.R(x86.EAX), 1) // 3
+		a.MovRI(x86.EDX, 1)
+		a.MovRI(x86.ECX, 4)
+		a.ShiftCL(x86.ROR, 4, x86.R(x86.EDX)) // 0x10000000
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 3 {
+		t.Errorf("rol: %#x", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.EDX] != 0x10000000 {
+		t.Errorf("ror cl: %#x", m.St.R[x86.EDX])
+	}
+}

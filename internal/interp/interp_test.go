@@ -1,0 +1,335 @@
+package interp
+
+import (
+	"testing"
+
+	"codesignvm/internal/x86"
+)
+
+const codeBase = 0x400000
+
+// load assembles a program, writes it to fresh memory and returns a
+// machine ready to run from its first instruction.
+func load(t *testing.T, build func(a *x86.Asm)) *Machine {
+	t.Helper()
+	a := x86.NewAsm(codeBase)
+	build(a)
+	code, err := a.Finalize()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := x86.NewMemory()
+	mem.WriteBytes(codeBase, code)
+	st := &x86.State{EIP: codeBase}
+	st.R[x86.ESP] = 0x7FF00000
+	return New(st, mem)
+}
+
+func runToHalt(t *testing.T, m *Machine, limit uint64) {
+	t.Helper()
+	if _, err := m.Run(limit); err != nil {
+		t.Fatalf("run: %v (eip=%#x)", err, m.St.EIP)
+	}
+	if !m.Halted {
+		t.Fatalf("did not halt within %d instructions (eip=%#x)", limit, m.St.EIP)
+	}
+}
+
+func TestSumLoop(t *testing.T) {
+	// eax = sum(1..10) via a counted loop.
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0)
+		a.MovRI(x86.ECX, 10)
+		a.Label("loop")
+		a.ALU(x86.ADD, 4, x86.R(x86.EAX), x86.R(x86.ECX))
+		a.Dec(x86.ECX)
+		a.Jcc(x86.CondNE, "loop")
+		a.Hlt()
+	})
+	runToHalt(t, m, 1000)
+	if m.St.R[x86.EAX] != 55 {
+		t.Errorf("sum = %d, want 55", m.St.R[x86.EAX])
+	}
+}
+
+func TestCallRetStack(t *testing.T) {
+	// A leaf function doubling its argument passed in eax.
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 21)
+		a.Call("double")
+		a.Hlt()
+		a.Label("double")
+		a.ALU(x86.ADD, 4, x86.R(x86.EAX), x86.R(x86.EAX))
+		a.Ret()
+	})
+	sp0 := m.St.R[x86.ESP]
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 42 {
+		t.Errorf("eax = %d, want 42", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.ESP] != sp0 {
+		t.Errorf("stack not balanced: %#x vs %#x", m.St.R[x86.ESP], sp0)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0x1111)
+		a.MovRI(x86.EBX, 0x2222)
+		a.Push(x86.EAX)
+		a.Push(x86.EBX)
+		a.Pop(x86.EAX) // eax = 0x2222
+		a.Pop(x86.EBX) // ebx = 0x1111
+		a.PushI(-7)
+		a.Pop(x86.ECX)
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 0x2222 || m.St.R[x86.EBX] != 0x1111 {
+		t.Errorf("swap failed: eax=%#x ebx=%#x", m.St.R[x86.EAX], m.St.R[x86.EBX])
+	}
+	if m.St.R[x86.ECX] != 0xFFFFFFF9 {
+		t.Errorf("push imm sext: ecx=%#x", m.St.R[x86.ECX])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	const data = 0x100000
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EBX, data)
+		a.MovMI(4, x86.M(x86.EBX, 0), 1000)
+		a.ALUI(x86.ADD, 4, x86.M(x86.EBX, 0), 234) // read-modify-write memory
+		a.Mov(4, x86.R(x86.EAX), x86.M(x86.EBX, 0))
+		a.MovMI(1, x86.M(x86.EBX, 8), -1)
+		a.Movzx(x86.ECX, x86.M(x86.EBX, 8), 1)
+		a.Movsx(x86.EDX, x86.M(x86.EBX, 8), 1)
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 1234 {
+		t.Errorf("rmw: eax=%d", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.ECX] != 0xFF {
+		t.Errorf("movzx: ecx=%#x", m.St.R[x86.ECX])
+	}
+	if m.St.R[x86.EDX] != 0xFFFFFFFF {
+		t.Errorf("movsx: edx=%#x", m.St.R[x86.EDX])
+	}
+}
+
+func TestAdcChain(t *testing.T) {
+	// 64-bit add via ADD/ADC: 0xFFFFFFFF_00000001 + 0x00000001_FFFFFFFF.
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0x00000001) // lo1
+		a.MovRI(x86.EDX, 0xFFFFFFFF) // hi1
+		a.MovRI(x86.EBX, 0xFFFFFFFF) // lo2
+		a.MovRI(x86.ECX, 0x00000001) // hi2
+		a.ALU(x86.ADD, 4, x86.R(x86.EAX), x86.R(x86.EBX))
+		a.ALU(x86.ADC, 4, x86.R(x86.EDX), x86.R(x86.ECX))
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 0 || m.St.R[x86.EDX] != 1 {
+		t.Errorf("64-bit add = %#x:%#x, want 1:0", m.St.R[x86.EDX], m.St.R[x86.EAX])
+	}
+}
+
+func TestShiftAndFlags(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 1)
+		a.ShiftI(x86.SHL, 4, x86.R(x86.EAX), 31)
+		a.Setcc(x86.CondS, x86.R(x86.EBX)) // BL = sign set
+		a.ShiftI(x86.SAR, 4, x86.R(x86.EAX), 31)
+		a.MovRI(x86.ECX, 3)
+		a.MovRI(x86.EDX, 0x100)
+		a.ShiftCL(x86.SHR, 4, x86.R(x86.EDX)) // 0x100 >> 3 = 0x20
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 0xFFFFFFFF {
+		t.Errorf("sar result = %#x", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.EBX]&0xFF != 1 {
+		t.Errorf("setcc = %#x", m.St.R[x86.EBX])
+	}
+	if m.St.R[x86.EDX] != 0x20 {
+		t.Errorf("shr cl = %#x", m.St.R[x86.EDX])
+	}
+}
+
+func TestImulForms(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 7)
+		a.MovRI(x86.EBX, 6)
+		a.Imul(x86.EAX, x86.R(x86.EBX))     // eax = 42
+		a.ImulI(x86.ECX, x86.R(x86.EAX), 3) // ecx = 126
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 42 || m.St.R[x86.ECX] != 126 {
+		t.Errorf("imul: eax=%d ecx=%d", m.St.R[x86.EAX], m.St.R[x86.ECX])
+	}
+}
+
+func TestDivComplex(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 100)
+		a.Cdq()
+		a.MovRI(x86.ECX, 7)
+		a.Div(x86.R(x86.ECX))
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 14 || m.St.R[x86.EDX] != 2 {
+		t.Errorf("div: q=%d r=%d", m.St.R[x86.EAX], m.St.R[x86.EDX])
+	}
+}
+
+func TestIdivNegative(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, uint32(0xFFFFFF9C)) // -100
+		a.Cdq()
+		a.MovRI(x86.ECX, 7)
+		a.IDiv(x86.R(x86.ECX))
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if int32(m.St.R[x86.EAX]) != -14 || int32(m.St.R[x86.EDX]) != -2 {
+		t.Errorf("idiv: q=%d r=%d", int32(m.St.R[x86.EAX]), int32(m.St.R[x86.EDX]))
+	}
+}
+
+func TestDivideError(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 1)
+		a.MovRI(x86.EDX, 0)
+		a.MovRI(x86.ECX, 0)
+		a.Div(x86.R(x86.ECX))
+		a.Hlt()
+	})
+	if _, err := m.Run(100); err != ErrDivide {
+		t.Errorf("err = %v, want ErrDivide", err)
+	}
+}
+
+func TestRepMovs(t *testing.T) {
+	const src, dst = 0x100000, 0x200000
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.ESI, src)
+		a.MovRI(x86.EDI, dst)
+		a.MovRI(x86.ECX, 16)
+		a.RepMovsd()
+		a.Hlt()
+	})
+	for i := uint32(0); i < 16; i++ {
+		m.Mem.Write32(src+i*4, 0xA0000000+i)
+	}
+	runToHalt(t, m, 100)
+	for i := uint32(0); i < 16; i++ {
+		if v := m.Mem.Read32(dst + i*4); v != 0xA0000000+i {
+			t.Fatalf("word %d = %#x", i, v)
+		}
+	}
+	if m.St.R[x86.ECX] != 0 || m.St.R[x86.ESI] != src+64 || m.St.R[x86.EDI] != dst+64 {
+		t.Errorf("regs after rep movs: ecx=%d esi=%#x edi=%#x",
+			m.St.R[x86.ECX], m.St.R[x86.ESI], m.St.R[x86.EDI])
+	}
+}
+
+func TestRepStos(t *testing.T) {
+	const dst = 0x300000
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EDI, dst)
+		a.MovRI(x86.EAX, 0x5A5A5A5A)
+		a.MovRI(x86.ECX, 8)
+		a.RepStosd()
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	for i := uint32(0); i < 8; i++ {
+		if v := m.Mem.Read32(dst + i*4); v != 0x5A5A5A5A {
+			t.Fatalf("word %d = %#x", i, v)
+		}
+	}
+}
+
+func TestIndirectControl(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0) // will hold target
+		a.Lea(x86.EAX, x86.MAbs(0))
+		// Overwritten below: load 'target' address into eax via label math.
+		a.Jmp("setup")
+		a.Label("target")
+		a.MovRI(x86.EBX, 99)
+		a.Hlt()
+		a.Label("setup")
+		// Compute the address of 'target' using a call/pop trick is
+		// overkill; just use an indirect jump through memory.
+		a.JmpMem(x86.MAbs(0x500000))
+	})
+	// Store target address at the indirect slot.
+	tgt := uint32(0)
+	{
+		// Recompute label layout: assemble an identical program to find
+		// the target address. Simpler: scan for mov ebx, 99 pattern.
+		for addr := uint32(codeBase); addr < codeBase+0x100; addr++ {
+			if m.Mem.Read8(addr) == 0xBB && m.Mem.Read32(addr+1) == 99 {
+				tgt = addr
+				break
+			}
+		}
+	}
+	if tgt == 0 {
+		t.Fatal("could not locate target instruction")
+	}
+	m.Mem.Write32(0x500000, tgt)
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EBX] != 99 {
+		t.Errorf("indirect jump failed: ebx=%d", m.St.R[x86.EBX])
+	}
+}
+
+func TestSubWidthALU(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.MovRI(x86.EAX, 0x12345678)
+		a.ALUI(x86.ADD, 2, x86.R(x86.EAX), 0x1000) // ax += 0x1000 -> 0x6678
+		a.MovRI(x86.EBX, 0x000000FF)
+		a.ALUI(x86.ADD, 1, x86.R(x86.EBX), 1) // bl += 1 -> 0x00 with carry
+		a.Setcc(x86.CondB, x86.R(x86.ECX))
+		a.Hlt()
+	})
+	runToHalt(t, m, 100)
+	if m.St.R[x86.EAX] != 0x12346678 {
+		t.Errorf("16-bit add merge: eax=%#x", m.St.R[x86.EAX])
+	}
+	if m.St.R[x86.EBX] != 0 {
+		t.Errorf("8-bit add merge: ebx=%#x", m.St.R[x86.EBX])
+	}
+	if m.St.R[x86.ECX]&0xFF != 1 {
+		t.Errorf("carry from 8-bit add: cl=%d", m.St.R[x86.ECX]&0xFF)
+	}
+}
+
+func TestHaltStops(t *testing.T) {
+	m := load(t, func(a *x86.Asm) { a.Hlt() })
+	n, err := m.Run(10)
+	if err != nil || n != 1 || !m.Halted {
+		t.Errorf("halt: n=%d err=%v halted=%v", n, err, m.Halted)
+	}
+	if _, err := m.Step(); err != ErrHalted {
+		t.Errorf("step after halt: %v", err)
+	}
+}
+
+func TestIcountCounts(t *testing.T) {
+	m := load(t, func(a *x86.Asm) {
+		a.Nop()
+		a.Nop()
+		a.Nop()
+		a.Hlt()
+	})
+	runToHalt(t, m, 10)
+	if m.Icount != 4 {
+		t.Errorf("icount = %d, want 4", m.Icount)
+	}
+}

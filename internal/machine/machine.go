@@ -1,0 +1,104 @@
+// Package machine assembles the simulated machine configurations of
+// Table 2 and provides the uniform run API used by experiments:
+//
+//   - Ref: superscalar — conventional processor with hardware x86
+//     decoders and no translation;
+//   - VM.soft — co-designed VM with software-only BBT and SBT;
+//   - VM.be — VM with the XLTx86 backend functional unit;
+//   - VM.fe — VM with dual-mode frontend decoders;
+//   - VM.interp — the interpretation-based staged VM of Fig. 2.
+//
+// All configurations share the Table 2 pipeline and memory system; the
+// x86-decoding machines (Ref, VM.fe in x86-mode) have a two-stage-longer
+// frontend, reflected in their misprediction penalty.
+package machine
+
+import (
+	"fmt"
+
+	"codesignvm/internal/vmm"
+	"codesignvm/internal/workload"
+)
+
+// Model names a machine configuration.
+type Model uint8
+
+// Machine models.
+const (
+	Ref Model = iota
+	VMSoft
+	VMBE
+	VMFE
+	VMInterp
+	VMStaged3
+	NumModels
+)
+
+var modelNames = [NumModels]string{"Ref", "VM.soft", "VM.be", "VM.fe", "VM.interp", "VM.3stage"}
+
+func (m Model) String() string { return modelNames[m] }
+
+// Strategy returns the VMM strategy implementing the model.
+func (m Model) Strategy() vmm.Strategy {
+	switch m {
+	case Ref:
+		return vmm.StratRef
+	case VMSoft:
+		return vmm.StratSoft
+	case VMBE:
+		return vmm.StratBE
+	case VMFE:
+		return vmm.StratFE
+	case VMInterp:
+		return vmm.StratInterp
+	case VMStaged3:
+		return vmm.StratStaged3
+	}
+	panic("machine: bad model")
+}
+
+// ByName resolves a model from its display name.
+func ByName(name string) (Model, error) {
+	for m := Ref; m < NumModels; m++ {
+		if modelNames[m] == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown model %q", name)
+}
+
+// Names lists the model names.
+func Names() []string {
+	out := make([]string, NumModels)
+	for i := range out {
+		out[i] = modelNames[i]
+	}
+	return out
+}
+
+// Config returns the vmm configuration of a model (Table 2 plus the
+// §3.2 translation-cost constants).
+func Config(m Model) vmm.Config {
+	return vmm.DefaultConfig(m.Strategy())
+}
+
+// Run simulates the program on the model for up to maxInstrs architected
+// instructions under the memory-startup scenario (§3.1 scenario 2: the
+// binary is resident in memory, all caches are cold).
+func Run(m Model, prog *workload.Program, maxInstrs uint64) (*vmm.Result, error) {
+	return RunConfig(Config(m), prog, maxInstrs)
+}
+
+// RunConfig simulates with an explicit configuration (used by ablation
+// and sensitivity experiments).
+func RunConfig(cfg vmm.Config, prog *workload.Program, maxInstrs uint64) (*vmm.Result, error) {
+	mem := prog.Memory()
+	vm := vmm.New(cfg, mem, prog.InitState())
+	return vm.Run(maxInstrs)
+}
+
+// NewVM constructs a VM for a model over the program without running it
+// (used by experiments that need mid-run access).
+func NewVM(m Model, prog *workload.Program) *vmm.VM {
+	return vmm.New(Config(m), prog.Memory(), prog.InitState())
+}

@@ -1,0 +1,183 @@
+// Package profile implements the hotspot-detection mechanisms of the
+// co-designed VM. Two detectors are provided, matching the paper:
+//
+//   - Software profiling: counters embedded in BBT-translated code. The
+//     counter is the translation's ExecCount; the cost (a few cycles per
+//     block execution) is charged by the timing model. This is the
+//     detector used by VM.soft and VM.be.
+//
+//   - A hardware branch behavior buffer (BBB) in the style of Merten et
+//     al.: a 4K-entry table after the retire stage that counts executed
+//     branch targets with no software overhead. VM.fe relies on it
+//     because with dual-mode decoders there is no BBT code to embed
+//     counters in.
+//
+// Both detectors implement the same policy: a region becomes hot when its
+// entry has been executed HotThreshold times (Eq. 2 of the paper).
+package profile
+
+// Detector is the common hotspot-detection interface.
+type Detector interface {
+	// RecordEntry notes one execution of the region entered at pc with
+	// the given instruction count, returning true when the region has
+	// just crossed the hot threshold (exactly once per region).
+	RecordEntry(pc uint32, instrs int) bool
+	// Count returns the accumulated execution count for pc.
+	Count(pc uint32) uint64
+}
+
+// Software is the embedded-counter detector. The VM keeps the per-block
+// counter in the translation itself; this type tracks the hot-crossing
+// bookkeeping and per-PC counts.
+type Software struct {
+	Threshold uint64
+	counts    map[uint32]uint64
+	reported  map[uint32]bool
+}
+
+// NewSoftware returns a software detector with the given hot threshold
+// (in region entries).
+func NewSoftware(threshold uint64) *Software {
+	return &Software{
+		Threshold: threshold,
+		counts:    make(map[uint32]uint64),
+		reported:  make(map[uint32]bool),
+	}
+}
+
+// RecordEntry implements Detector.
+func (s *Software) RecordEntry(pc uint32, instrs int) bool {
+	s.counts[pc]++
+	if s.counts[pc] >= s.Threshold && !s.reported[pc] {
+		s.reported[pc] = true
+		return true
+	}
+	return false
+}
+
+// Count implements Detector.
+func (s *Software) Count(pc uint32) uint64 { return s.counts[pc] }
+
+// Reset forgets a region (used after code-cache flushes so re-translated
+// regions can become hot again).
+func (s *Software) Reset(pc uint32) {
+	delete(s.counts, pc)
+	delete(s.reported, pc)
+}
+
+// BBB is the Merten-style hardware branch behavior buffer: a
+// direct-mapped, tagged table of saturating execution counters indexed by
+// branch-target PC. Capacity conflicts evict the previous entry, so rare
+// regions can lose their counts — an accuracy/cost trade-off of the
+// hardware scheme that the software detector does not have.
+type BBB struct {
+	Threshold uint64
+	entries   []bbbEntry
+	mask      uint32
+	reported  map[uint32]bool
+
+	// Statistics.
+	Evictions uint64
+}
+
+type bbbEntry struct {
+	tag   uint32
+	count uint64
+	valid bool
+}
+
+// NewBBB returns a branch behavior buffer with size entries (must be a
+// power of two; the paper uses 4K) and the given hot threshold.
+func NewBBB(size int, threshold uint64) *BBB {
+	if size&(size-1) != 0 || size <= 0 {
+		panic("profile: BBB size must be a power of two")
+	}
+	return &BBB{
+		Threshold: threshold,
+		entries:   make([]bbbEntry, size),
+		mask:      uint32(size - 1),
+		reported:  make(map[uint32]bool),
+	}
+}
+
+func (b *BBB) index(pc uint32) uint32 {
+	// Branch targets are at least 1 byte apart; fold the PC.
+	h := pc ^ (pc >> 13)
+	return (h >> 1) & b.mask
+}
+
+// RecordEntry implements Detector.
+func (b *BBB) RecordEntry(pc uint32, instrs int) bool {
+	e := &b.entries[b.index(pc)]
+	if !e.valid || e.tag != pc {
+		if e.valid {
+			b.Evictions++
+		}
+		e.tag = pc
+		e.count = 0
+		e.valid = true
+	}
+	e.count++
+	if e.count >= b.Threshold && !b.reported[pc] {
+		b.reported[pc] = true
+		return true
+	}
+	return false
+}
+
+// Count implements Detector.
+func (b *BBB) Count(pc uint32) uint64 {
+	e := &b.entries[b.index(pc)]
+	if e.valid && e.tag == pc {
+		return e.count
+	}
+	return 0
+}
+
+// Reset forgets a region.
+func (b *BBB) Reset(pc uint32) {
+	e := &b.entries[b.index(pc)]
+	if e.valid && e.tag == pc {
+		e.valid = false
+		e.count = 0
+	}
+	delete(b.reported, pc)
+}
+
+// EdgeProfile records taken counts of control-flow edges between
+// architected basic blocks. The superblock translator uses it to follow
+// the dominant path when forming superblocks.
+type EdgeProfile struct {
+	edges map[edgeKey]uint64
+}
+
+type edgeKey struct {
+	from, to uint32
+}
+
+// NewEdgeProfile returns an empty edge profile.
+func NewEdgeProfile() *EdgeProfile {
+	return &EdgeProfile{edges: make(map[edgeKey]uint64)}
+}
+
+// Record adds one traversal of the edge from→to.
+func (p *EdgeProfile) Record(from, to uint32) {
+	p.edges[edgeKey{from, to}]++
+}
+
+// Count returns the traversal count of from→to.
+func (p *EdgeProfile) Count(from, to uint32) uint64 {
+	return p.edges[edgeKey{from, to}]
+}
+
+// Bias returns the fraction of traversals out of `from` (given the two
+// possible successors) that went to `to`. Returns 0.5 when nothing is
+// known.
+func (p *EdgeProfile) Bias(from, to, other uint32) float64 {
+	a := float64(p.edges[edgeKey{from, to}])
+	b := float64(p.edges[edgeKey{from, other}])
+	if a+b == 0 {
+		return 0.5
+	}
+	return a / (a + b)
+}

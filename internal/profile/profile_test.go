@@ -1,0 +1,96 @@
+package profile
+
+import "testing"
+
+func TestSoftwareThreshold(t *testing.T) {
+	d := NewSoftware(5)
+	pc := uint32(0x400000)
+	for i := 1; i <= 4; i++ {
+		if d.RecordEntry(pc, 10) {
+			t.Fatalf("fired at count %d, threshold 5", i)
+		}
+	}
+	if !d.RecordEntry(pc, 10) {
+		t.Fatal("did not fire at the threshold")
+	}
+	if d.RecordEntry(pc, 10) {
+		t.Fatal("fired twice for the same region")
+	}
+	if d.Count(pc) != 6 {
+		t.Errorf("count = %d", d.Count(pc))
+	}
+}
+
+func TestSoftwareReset(t *testing.T) {
+	d := NewSoftware(2)
+	pc := uint32(0x1)
+	d.RecordEntry(pc, 1)
+	d.RecordEntry(pc, 1)
+	d.Reset(pc)
+	if d.Count(pc) != 0 {
+		t.Error("reset did not clear the count")
+	}
+	d.RecordEntry(pc, 1)
+	if !d.RecordEntry(pc, 1) {
+		t.Error("region cannot re-fire after reset")
+	}
+}
+
+func TestBBBThresholdAndConflicts(t *testing.T) {
+	b := NewBBB(16, 3)
+	pc := uint32(0x400010)
+	b.RecordEntry(pc, 1)
+	b.RecordEntry(pc, 1)
+	if !b.RecordEntry(pc, 1) {
+		t.Fatal("BBB did not fire at threshold")
+	}
+	if b.RecordEntry(pc, 1) {
+		t.Fatal("BBB fired twice")
+	}
+
+	// A conflicting PC (same index) evicts and resets the count: the
+	// hardware detector loses history under conflicts.
+	other := conflictingPC(b, pc)
+	b.RecordEntry(other, 1)
+	if b.Evictions == 0 {
+		t.Error("conflict did not evict")
+	}
+	if b.Count(pc) != 0 {
+		t.Errorf("evicted entry still counts %d", b.Count(pc))
+	}
+}
+
+// conflictingPC finds a different PC mapping to the same BBB entry.
+func conflictingPC(b *BBB, pc uint32) uint32 {
+	want := b.index(pc)
+	for cand := pc + 2; ; cand += 2 {
+		if b.index(cand) == want {
+			return cand
+		}
+	}
+}
+
+func TestBBBPowerOfTwoPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two size")
+		}
+	}()
+	NewBBB(100, 5)
+}
+
+func TestEdgeProfile(t *testing.T) {
+	p := NewEdgeProfile()
+	p.Record(1, 2)
+	p.Record(1, 2)
+	p.Record(1, 3)
+	if p.Count(1, 2) != 2 || p.Count(1, 3) != 1 || p.Count(9, 9) != 0 {
+		t.Errorf("counts wrong: %d %d %d", p.Count(1, 2), p.Count(1, 3), p.Count(9, 9))
+	}
+	if b := p.Bias(1, 2, 3); b < 0.66 || b > 0.67 {
+		t.Errorf("bias = %f, want 2/3", b)
+	}
+	if b := p.Bias(5, 6, 7); b != 0.5 {
+		t.Errorf("unknown edge bias = %f, want 0.5", b)
+	}
+}

@@ -1,0 +1,350 @@
+package sbt
+
+import (
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
+)
+
+// Optimization passes over a superblock body. Within the body, UBR
+// immediates are symbolic exit indices and there are no UEXIT micro-ops;
+// control falls off the end into the terminal exit trampoline.
+
+const archRegMask = 0xFF // native R0-R7 shadow the architected registers
+
+// flagEffect describes a micro-op's interaction with the condition flags.
+type flagEffect struct {
+	reads    bool
+	writes   bool
+	fullKill bool // overwrites every flag (no old flag survives)
+}
+
+func flagsOf(u *fisa.MicroOp) flagEffect {
+	switch u.Op {
+	case fisa.UCMP, fisa.UCMPI, fisa.UTEST, fisa.UTESTI:
+		return flagEffect{writes: true, fullKill: true}
+	case fisa.UADC, fisa.USBB:
+		return flagEffect{reads: true, writes: u.SetF, fullKill: u.SetF}
+	case fisa.UINC, fisa.UDEC:
+		// CF is preserved: reads CF, writes the rest.
+		return flagEffect{reads: u.SetF, writes: u.SetF}
+	case fisa.UBR, fisa.USETC, fisa.UCMOV:
+		return flagEffect{reads: true}
+	case fisa.USHL, fisa.USHR, fisa.USAR, fisa.UROL, fisa.UROR, fisa.UROLI, fisa.URORI:
+		// Register counts may be zero (flags unchanged); rotates update
+		// only CF/OF. Treat as read+write, never a full kill.
+		return flagEffect{reads: u.SetF, writes: u.SetF}
+	case fisa.USHLI, fisa.USHRI, fisa.USARI:
+		if !u.SetF {
+			return flagEffect{}
+		}
+		if u.Imm&31 == 0 {
+			return flagEffect{reads: true}
+		}
+		return flagEffect{writes: true, fullKill: true}
+	case fisa.UCALLOUT:
+		return flagEffect{reads: true, writes: true}
+	}
+	if u.SetF {
+		return flagEffect{writes: true, fullKill: true}
+	}
+	return flagEffect{}
+}
+
+// fullWidthDef reports whether the micro-op completely redefines its
+// destination register (partial-width writes merge and therefore read the
+// old value).
+func fullWidthDef(u *fisa.MicroOp) bool {
+	if !u.HasDst() {
+		return false
+	}
+	switch u.Op {
+	case fisa.UINS8H, fisa.UORILO:
+		return false
+	case fisa.USETC:
+		return false // byte merge
+	case fisa.UCMOV:
+		return false // conditional: the old value may survive
+	}
+	return u.W == 4 || u.W == 0
+}
+
+// copyPropagate forwards UMOV sources: uses of a register that currently
+// aliases another register are rewritten to the alias root, enabling DCE
+// to remove the moves.
+func copyPropagate(body []fisa.MicroOp) []fisa.MicroOp {
+	var alias [fisa.NumRegs]fisa.Reg
+	var valid [fisa.NumRegs]bool
+
+	root := func(r fisa.Reg) fisa.Reg {
+		for valid[r] {
+			r = alias[r]
+		}
+		return r
+	}
+	invalidate := func(r fisa.Reg) {
+		valid[r] = false
+		for i := range alias {
+			if valid[i] && alias[i] == r {
+				valid[i] = false
+			}
+		}
+	}
+
+	for i := range body {
+		u := &body[i]
+		if u.Op == fisa.UCALLOUT {
+			for r := range valid {
+				valid[r] = false
+			}
+			continue
+		}
+		// Rewrite sources through the alias map.
+		switch u.Op {
+		case fisa.UNOP, fisa.UMOVI, fisa.UMOVIU, fisa.UBR, fisa.UJMP:
+			// no register sources
+		case fisa.UORILO:
+			// reads and writes Dst; cannot rewrite
+		default:
+			u.Src1 = root(u.Src1)
+			if !isImmLayout(u.Op) {
+				u.Src2 = root(u.Src2)
+			}
+		}
+		if u.HasDst() {
+			invalidate(u.Dst)
+			if u.Op == fisa.UMOV && (u.W == 4 || u.W == 0) && u.Src1 != u.Dst {
+				alias[u.Dst] = u.Src1
+				valid[u.Dst] = true
+			}
+		}
+	}
+	return body
+}
+
+func isImmLayout(op fisa.Op) bool {
+	switch op {
+	case fisa.UADDI, fisa.USUBI, fisa.UANDI, fisa.UORI, fisa.UXORI,
+		fisa.USHLI, fisa.USHRI, fisa.USARI, fisa.UCMPI, fisa.UTESTI,
+		fisa.ULD, fisa.ULD8Z, fisa.ULD8S, fisa.ULD16Z, fisa.ULD16S:
+		return true
+	}
+	return false
+}
+
+// eliminateDead removes micro-ops whose register result and flag effects
+// are both dead. Stores, branches and callouts are never removed;
+// retirement counts (Boundary) of removed micro-ops are transferred to
+// the next surviving micro-op so architected instruction accounting is
+// preserved.
+func eliminateDead(body []fisa.MicroOp, exits []codecache.Exit) []fisa.MicroOp {
+	live := uint32(archRegMask)
+	for i := range exits {
+		if exits[i].Kind == codecache.ExitIndirect {
+			live |= 1 << exits[i].TargetReg
+		}
+	}
+	liveOut := live
+	flagsLive := true
+
+	keep := make([]bool, len(body))
+	var srcBuf [3]fisa.Reg
+
+	for i := len(body) - 1; i >= 0; i-- {
+		u := &body[i]
+		fe := flagsOf(u)
+
+		removable := u.HasDst() &&
+			live&(1<<u.Dst) == 0 &&
+			(!fe.writes || !flagsLive) &&
+			!u.IsStore() && !u.IsBranch() && u.Op != fisa.UCALLOUT &&
+			u.Op != fisa.UXLT
+		// Loads are removable in this model (no faults); boundary counts
+		// are transferred below. Pure flag producers die with the flags.
+		switch u.Op {
+		case fisa.UCMP, fisa.UCMPI, fisa.UTEST, fisa.UTESTI:
+			removable = !flagsLive
+		case fisa.UNOP:
+			removable = true
+		}
+		if removable {
+			keep[i] = false
+			continue
+		}
+		keep[i] = true
+
+		// Backward liveness update.
+		if u.Op == fisa.UBR || u.Op == fisa.UCALLOUT {
+			// Control can leave here (side exit) or the callout touches
+			// the whole architected state.
+			live |= liveOut
+			flagsLive = true
+		}
+		if u.HasDst() && fullWidthDef(u) {
+			live &^= 1 << u.Dst
+		}
+		for _, s := range u.Sources(srcBuf[:0]) {
+			live |= 1 << s
+		}
+		if u.HasDst() && !fullWidthDef(u) {
+			live |= 1 << u.Dst // merge reads the old value
+		}
+		if fe.fullKill {
+			flagsLive = false
+		}
+		if fe.reads {
+			flagsLive = true
+		}
+	}
+
+	out := body[:0]
+	pending := uint8(0)
+	for i := range body {
+		if !keep[i] {
+			pending += body[i].Boundary
+			continue
+		}
+		u := body[i]
+		u.Boundary += pending
+		pending = 0
+		out = append(out, u)
+	}
+	if pending > 0 {
+		// Everything after the last kept micro-op was removed; attach the
+		// counts to the final micro-op (or emit a NOP when empty).
+		if len(out) > 0 {
+			out[len(out)-1].Boundary += pending
+		} else {
+			out = append(out, fisa.MicroOp{Op: fisa.UNOP, W: 4, Boundary: pending})
+		}
+	}
+	return out
+}
+
+// fuse performs single-pass macro-op fusion with reordering: for each
+// unpaired single-cycle ALU micro-op, the pass finds its first consumer
+// within the window, checks that the head can legally move down to be
+// adjacent to the consumer, performs the move, and sets the fusible bit.
+func fuse(body []fisa.MicroOp, window int) []fisa.MicroOp {
+	if window <= 0 {
+		window = DefaultConfig.FuseWindow
+	}
+	var srcBuf [3]fisa.Reg
+
+	reads := func(u *fisa.MicroOp, r fisa.Reg) bool {
+		for _, s := range u.Sources(srcBuf[:0]) {
+			if s == r {
+				return true
+			}
+		}
+		// Partial-width definitions merge the old value.
+		if u.HasDst() && u.Dst == r && !fullWidthDef(u) {
+			return true
+		}
+		return false
+	}
+	writes := func(u *fisa.MicroOp, r fisa.Reg) bool {
+		return u.HasDst() && u.Dst == r
+	}
+
+	for i := 0; i < len(body); i++ {
+		h := &body[i]
+		if h.Fused || (i > 0 && body[i-1].Fused) {
+			continue // already the head or tail of a pair
+		}
+		if !canHead(h) {
+			continue
+		}
+		hf := flagsOf(h)
+		hasDst := h.HasDst()
+
+		// Find the first consumer j.
+		j := -1
+		limit := i + window
+		if limit >= len(body) {
+			limit = len(body) - 1
+		}
+		for k := i + 1; k <= limit; k++ {
+			c := &body[k]
+			if hasDst {
+				if reads(c, h.Dst) {
+					j = k
+					break
+				}
+				if writes(c, h.Dst) {
+					break // result dead before use; no consumer
+				}
+				cf := flagsOf(c)
+				if hf.writes && (cf.reads || cf.writes) {
+					break // cannot carry flag effect past this point
+				}
+				if hf.reads && cf.writes {
+					break
+				}
+			} else {
+				// Pure flag producer: consumer is the first flags reader.
+				cf := flagsOf(c)
+				if cf.reads {
+					j = k
+					break
+				}
+				if cf.writes {
+					break
+				}
+			}
+			if c.Op == fisa.UBR || c.Op == fisa.UCALLOUT || c.Op == fisa.UJMP {
+				break // do not move across control flow
+			}
+			// Moving past c requires c not to clobber the head's inputs.
+			blocked := false
+			for _, s := range h.Sources(srcBuf[:0]) {
+				if writes(c, s) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				break
+			}
+		}
+		if j < 0 {
+			continue
+		}
+		tail := &body[j]
+		if tail.Fused || (j > 0 && j-1 != i && body[j-1].Fused) {
+			continue // tail already belongs to a pair
+		}
+		if !fisa.CanFuse(h, tail) {
+			continue
+		}
+
+		if j == i+1 {
+			body[i].Fused = true
+			i = j // skip the tail
+			continue
+		}
+
+		// Move the head down to j-1. The scan above already guaranteed
+		// that no micro-op in (i, j) reads/writes the head's destination,
+		// clobbers its sources, or conflicts through the flags.
+		head := body[i]
+		copy(body[i:j-1], body[i+1:j])
+		body[j-1] = head
+		body[j-1].Fused = true
+		i = j // continue after the tail
+	}
+	return body
+}
+
+// canHead reports whether the micro-op may head a macro-op pair:
+// single-cycle ALU, and safe to relocate (micro-ops carrying retirement
+// counts may move — counts travel with them).
+func canHead(u *fisa.MicroOp) bool {
+	if u.IsLoad() || u.IsStore() || u.IsBranch() {
+		return false
+	}
+	switch u.Op {
+	case fisa.UNOP, fisa.UXLT, fisa.UMUL, fisa.USHL, fisa.USHR, fisa.USAR:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,459 @@
+// Package timing implements the superscalar timing model shared by all
+// machine configurations (Table 2). It is a *persistent dataflow
+// (scoreboard) model*: a finite-window out-of-order approximation in
+// which
+//
+//   - every issue entity (micro-op, or fused macro-op pair — one slot)
+//     consumes 1/width of issue bandwidth,
+//   - an entity issues no earlier than its source operands' ready times
+//     (tracked continuously across basic-block boundaries, so
+//     independent work from different blocks overlaps, as in a real
+//     out-of-order core),
+//   - a reorder-window ring limits how far issue can run ahead of
+//     retirement, which makes memory-level parallelism an emergent
+//     property: independent cache misses overlap within the window,
+//     dependent ones serialize;
+//   - loads carry their true hierarchy latency (L1/L2/memory from the
+//     simulated caches), branch mispredictions insert
+//     frontend-depth-dependent bubbles, instruction fetch stalls push
+//     the bandwidth clock directly.
+//
+// Macro-op fusion benefits emerge rather than being asserted: a fused
+// pair occupies one issue slot (bandwidth) and presents the pipelined
+// two-stage ALU latency to external consumers.
+//
+// Software activity (translation, interpretation, VMM dispatch) advances
+// the same clock, so per-category cycle accounting (Fig. 10) is exact by
+// construction.
+package timing
+
+import (
+	"codesignvm/internal/bpred"
+	"codesignvm/internal/cache"
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
+)
+
+// Params are the pipeline parameters of one machine configuration.
+type Params struct {
+	Width             int     // superscalar width (3, Table 2)
+	MispredictPenalty int     // cycles; depends on frontend depth
+	Window            int     // reorder window in issue entities (ROB, Table 2)
+	LoadLatency       int     // L1D-hit load-to-use latency (cycles)
+	MulLatency        int     // integer multiply latency
+	DivLatency        int     // microcoded divide latency
+	PairLatency       int     // fused macro-op latency on the pipelined 2-stage ALU
+	MLP               float64 // retained for reporting; overlap is emergent
+}
+
+// DefaultParams matches the Table 2 native pipeline.
+var DefaultParams = Params{
+	Width:             3,
+	MispredictPenalty: 12,
+	Window:            128,
+	LoadLatency:       3,
+	MulLatency:        3,
+	DivLatency:        12,
+	PairLatency:       2,
+	MLP:               4,
+}
+
+// Engine charges cycles for dynamic execution events. It owns the cache
+// hierarchy, branch predictor and the persistent dataflow state of one
+// simulated machine.
+type Engine struct {
+	P      Params
+	Caches *cache.Hierarchy
+	Pred   *bpred.Predictor
+
+	// Dataflow state (absolute cycles).
+	clock      float64 // issue-bandwidth frontier == machine time
+	regReady   [fisa.NumRegs]float64
+	flagReady  float64
+	ring       []float64 // retire times of the last Window entities
+	ringIdx    int
+	lastRetire float64
+
+	// Event queues filled during functional execution and consumed by
+	// the timing replay, in program order.
+	loadLat []float64 // full load-to-use latencies (incl. misses)
+	brPen   []float64 // misprediction bubbles per executed UBR (0 = hit)
+}
+
+// NewEngine builds a timing engine with the Table 2 memory system.
+func NewEngine(p Params) *Engine {
+	if p.Window <= 0 {
+		p.Window = DefaultParams.Window
+	}
+	return &Engine{
+		P:      p,
+		Caches: cache.Table2(),
+		Pred:   bpred.New(bpred.DefaultConfig),
+		ring:   make([]float64, p.Window),
+	}
+}
+
+// Now returns the machine time in cycles.
+func (e *Engine) Now() float64 { return e.clock }
+
+// AdvanceClock consumes cycles of software activity (translation,
+// interpretation, VMM work): the pipeline is busy running VMM code.
+func (e *Engine) AdvanceClock(c float64) {
+	if c > 0 {
+		e.clock += c
+	}
+}
+
+// Analyze precomputes the issue shape of a translation (entities, fused
+// pairs, static dependence depth) for statistics and reporting.
+func (e *Engine) Analyze(t *codecache.Translation) { AnalyzeWith(t, e.P) }
+
+// OnLoad implements fisa.MemProbe: the load's true latency through the
+// hierarchy is queued for the timing replay.
+func (e *Engine) OnLoad(addr uint32, size uint8) {
+	pen := e.Caches.DataPenalty(addr, false)
+	e.loadLat = append(e.loadLat, float64(e.P.LoadLatency+pen))
+}
+
+// OnStore implements fisa.MemProbe (write-allocate, buffered).
+func (e *Engine) OnStore(addr uint32, size uint8) {
+	e.Caches.DataPenalty(addr, true)
+}
+
+// NoteBranch queues the misprediction bubble (0 when predicted) of an
+// executed conditional branch, in program order.
+func (e *Engine) NoteBranch(penalty float64) {
+	e.brPen = append(e.brPen, penalty)
+}
+
+// DrainQueues discards queued events and returns the total load stall
+// beyond the L1 latency (used by the interpreter path, which pays
+// per-instruction software costs plus its real cache misses).
+func (e *Engine) DrainQueues() float64 {
+	stall := 0.0
+	for _, l := range e.loadLat {
+		if extra := l - float64(e.P.LoadLatency); extra > 0 {
+			stall += extra
+		}
+	}
+	e.loadLat = e.loadLat[:0]
+	e.brPen = e.brPen[:0]
+	return stall
+}
+
+// issueEntity pushes one issue entity through the dataflow model.
+// srcMax is the max ready time of its sources; lat its result latency.
+// It returns the completion time.
+func (e *Engine) issueEntity(srcMax, lat float64) float64 {
+	slot := e.clock
+	if w := e.ring[e.ringIdx]; w > slot {
+		slot = w // window full: wait for the oldest entity to retire
+	}
+	issue := slot
+	if srcMax > issue {
+		issue = srcMax
+	}
+	complete := issue + lat
+	retire := complete
+	if e.lastRetire > retire {
+		retire = e.lastRetire
+	}
+	e.lastRetire = retire
+	e.ring[e.ringIdx] = retire
+	e.ringIdx++
+	if e.ringIdx == len(e.ring) {
+		e.ringIdx = 0
+	}
+	e.clock = slot + 1/float64(e.P.Width)
+	return complete
+}
+
+// ChargeRange replays the executed micro-ops uops[lo..hi] (inclusive)
+// through the dataflow model, consuming the queued load latencies and
+// branch outcomes. The caller derives the executed (linear) ranges from
+// the functional execution.
+func (e *Engine) ChargeRange(uops []fisa.MicroOp, lo, hi int) {
+	var srcBuf [3]fisa.Reg
+	for i := lo; i <= hi && i < len(uops); i++ {
+		u := &uops[i]
+
+		// A fused pair is one issue entity.
+		var pair *fisa.MicroOp
+		if u.Fused && i+1 <= hi && i+1 < len(uops) {
+			pair = &uops[i+1]
+		}
+
+		src := 0.0
+		gather := func(m *fisa.MicroOp) {
+			for _, s := range m.Sources(srcBuf[:0]) {
+				if pair != nil && m == pair && u.HasDst() && s == u.Dst {
+					continue // collapsed intra-pair dependence
+				}
+				if r := e.regReady[s]; r > src {
+					src = r
+				}
+			}
+			if readsWritesFlags(m).reads && e.flagReady > src {
+				src = e.flagReady
+			}
+		}
+		gather(u)
+		if pair != nil {
+			gather(pair)
+		}
+
+		lat := 1.0
+		if pair != nil {
+			lat = float64(e.P.PairLatency)
+		}
+		switch {
+		case u.Op == fisa.UMUL || u.Op == fisa.UMULHU || u.Op == fisa.UMULHS:
+			lat = float64(e.P.MulLatency)
+		case u.Op == fisa.UDIVQ || u.Op == fisa.UDIVR || u.Op == fisa.UIDIVQ || u.Op == fisa.UIDIVR:
+			lat = float64(e.P.DivLatency)
+		}
+		consumeLoad := func(m *fisa.MicroOp) {
+			if m.IsLoad() {
+				if len(e.loadLat) > 0 {
+					lat = e.loadLat[0]
+					e.loadLat = e.loadLat[1:]
+				} else {
+					lat = float64(e.P.LoadLatency)
+				}
+			}
+		}
+		consumeLoad(u)
+		if pair != nil {
+			consumeLoad(pair)
+		}
+
+		complete := e.issueEntity(src, lat)
+
+		apply := func(m *fisa.MicroOp) {
+			if m.HasDst() {
+				e.regReady[m.Dst] = complete
+			}
+			if readsWritesFlags(m).writes {
+				e.flagReady = complete
+			}
+		}
+		apply(u)
+		if pair != nil {
+			apply(pair)
+		}
+
+		// Branch resolution bubbles.
+		if u.Op == fisa.UBR || (pair != nil && pair.Op == fisa.UBR) {
+			pen := 0.0
+			if len(e.brPen) > 0 {
+				pen = e.brPen[0]
+				e.brPen = e.brPen[1:]
+			}
+			if pen > 0 {
+				// Fetch resumes after the branch resolves plus the
+				// frontend refill.
+				resume := complete + pen
+				if resume > e.clock {
+					e.clock = resume
+				}
+			}
+		}
+
+		if pair != nil {
+			i++ // the tail was consumed with the head
+		}
+	}
+}
+
+// Serialize models a full pipeline drain: issue stops until everything
+// in flight retires.
+func (e *Engine) Serialize() {
+	if e.lastRetire > e.clock {
+		e.clock = e.lastRetire
+	}
+}
+
+// AnalyzeWith computes the static issue shape under explicit parameters
+// (entities, fused pairs, dependence depth, cycles-per-entity bound).
+// The dynamic model does not use CPE; it is kept for reporting and for
+// the analytical model package.
+func AnalyzeWith(t *codecache.Translation, p Params) {
+	var regLevel [fisa.NumRegs]int
+	flagLevel := 0
+	depth := 0
+	entities := 0
+	pairs := 0
+
+	var srcBuf [3]fisa.Reg
+	uops := t.Uops
+	for i := 0; i < len(uops); i++ {
+		u := &uops[i]
+		entities++
+
+		var pair *fisa.MicroOp
+		if u.Fused && i+1 < len(uops) {
+			pair = &uops[i+1]
+			pairs++
+		}
+
+		ready := 0
+		consider := func(m *fisa.MicroOp) {
+			for _, s := range m.Sources(srcBuf[:0]) {
+				if pair != nil && m == pair && u.HasDst() && s == u.Dst {
+					continue
+				}
+				if int(s) < len(regLevel) && regLevel[s] > ready {
+					ready = regLevel[s]
+				}
+			}
+			fe := readsWritesFlags(m)
+			if fe.reads && flagLevel > ready {
+				ready = flagLevel
+			}
+		}
+		consider(u)
+		if pair != nil {
+			consider(pair)
+		}
+
+		lat := 1
+		if pair != nil {
+			lat = p.PairLatency
+		}
+		if u.IsLoad() || (pair != nil && pair.IsLoad()) {
+			lat = p.LoadLatency
+		}
+		if u.Op == fisa.UMUL || (pair != nil && pair.Op == fisa.UMUL) {
+			lat = p.MulLatency
+		}
+		switch u.Op {
+		case fisa.UDIVQ, fisa.UDIVR, fisa.UIDIVQ, fisa.UIDIVR:
+			lat = p.DivLatency
+		}
+		done := ready + lat
+		if done > depth {
+			depth = done
+		}
+
+		apply := func(m *fisa.MicroOp) {
+			if m.HasDst() {
+				regLevel[m.Dst] = done
+			}
+			if readsWritesFlags(m).writes {
+				flagLevel = done
+			}
+		}
+		apply(u)
+		if pair != nil {
+			apply(pair)
+			i++
+		}
+	}
+
+	t.Entities = entities
+	t.FusedPairs = pairs
+	t.Depth = depth
+	widthBound := float64(entities) / float64(p.Width)
+	bound := widthBound
+	if float64(depth) > bound {
+		bound = float64(depth)
+	}
+	if entities > 0 {
+		t.CPE = bound / float64(entities)
+	} else {
+		t.CPE = 1
+	}
+}
+
+type flagRW struct{ reads, writes bool }
+
+func readsWritesFlags(u *fisa.MicroOp) flagRW {
+	switch u.Op {
+	case fisa.UCMP, fisa.UCMPI, fisa.UTEST, fisa.UTESTI:
+		return flagRW{writes: true}
+	case fisa.UADC, fisa.USBB:
+		return flagRW{reads: true, writes: u.SetF}
+	case fisa.UINC, fisa.UDEC, fisa.USHL, fisa.USHR, fisa.USAR,
+		fisa.UROL, fisa.UROR, fisa.UROLI, fisa.URORI:
+		return flagRW{reads: u.SetF, writes: u.SetF}
+	case fisa.UBR, fisa.USETC, fisa.UCMOV:
+		return flagRW{reads: true}
+	case fisa.UCALLOUT:
+		return flagRW{reads: true, writes: true}
+	}
+	return flagRW{writes: u.SetF}
+}
+
+// FetchCycles charges the instruction fetch of size bytes at addr and
+// returns the stall cycles. The first missing line pays the full
+// hierarchy penalty; later lines of the same block stream behind it
+// (pipelined refills at a quarter of the full penalty).
+func (e *Engine) FetchCycles(addr uint32, size int) float64 {
+	if size <= 0 {
+		size = 1
+	}
+	const lineSize = 64
+	first := addr &^ (lineSize - 1)
+	last := (addr + uint32(size) - 1) &^ (lineSize - 1)
+	total := 0.0
+	firstLine := true
+	for a := first; ; a += lineSize {
+		pen := e.Caches.FetchPenalty(a)
+		if pen > 0 {
+			if firstLine {
+				total += float64(pen)
+			} else {
+				total += float64(pen) / 4 // streamed refill
+			}
+		}
+		firstLine = false
+		if a == last {
+			break
+		}
+	}
+	return total
+}
+
+// CTIKind classifies a dynamic control transfer for prediction.
+type CTIKind uint8
+
+// Control-transfer kinds.
+const (
+	CTICond     CTIKind = iota
+	CTIJump             // direct unconditional
+	CTICall             // direct call
+	CTIIndirect         // indirect jump or call
+	CTIRet
+)
+
+// BranchCycles records a dynamic control transfer with the predictor and
+// returns the misprediction stall (0 when predicted correctly).
+// returnPC is the fall-through address (pushed for calls).
+func (e *Engine) BranchCycles(kind CTIKind, pc, target, returnPC uint32, taken bool) float64 {
+	pen := 0.0
+	switch kind {
+	case CTICond:
+		if e.Pred.Cond(pc, taken) {
+			pen = float64(e.P.MispredictPenalty)
+		}
+	case CTIJump:
+		// Direct targets resolve in decode; no penalty in steady state.
+	case CTICall:
+		e.Pred.Call(returnPC)
+	case CTIIndirect:
+		if e.Pred.Indirect(pc, target) {
+			pen = float64(e.P.MispredictPenalty)
+		}
+	case CTIRet:
+		if e.Pred.Return(target) {
+			pen = float64(e.P.MispredictPenalty)
+		}
+	}
+	return pen
+}
+
+// SerializeCycles is the bubble of a pipeline drain (mode switches,
+// complex-instruction callouts).
+func (e *Engine) SerializeCycles() float64 {
+	return float64(e.P.MispredictPenalty)
+}

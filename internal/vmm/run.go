@@ -1,0 +1,627 @@
+package vmm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"codesignvm/internal/bbt"
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/hwassist"
+	"codesignvm/internal/interp"
+	"codesignvm/internal/profile"
+	"codesignvm/internal/sbt"
+	"codesignvm/internal/timing"
+	"codesignvm/internal/x86"
+)
+
+// VM is one simulated machine executing one architected program.
+type VM struct {
+	Cfg Config
+	Mem *x86.Memory
+
+	eng  *timing.Engine
+	nst  fisa.NativeState
+	arch x86.State
+	itp  *interp.Machine
+
+	bbtCache *codecache.Cache
+	sbtCache *codecache.Cache
+	shadow   map[uint32]*codecache.Translation
+	det      detector
+	edges    *profile.EdgeProfile
+	xlt      *hwassist.XLTUnit
+	dmd      *hwassist.DualModeDecoder
+
+	invalidated []*codecache.Translation // BBT blocks superseded by SBT
+
+	pc       uint32
+	halted   bool
+	prevT    *codecache.Translation
+	prevExit int
+	inX86    bool // current frontend mode (VM.fe)
+
+	cycles     float64
+	res        Result
+	nextSample float64
+}
+
+// New builds a VM over the program memory with the given initial
+// architected state (EIP at the program entry, ESP at the stack top).
+func New(cfg Config, mem *x86.Memory, init *x86.State) *VM {
+	if cfg.SampleGrowth <= 1 {
+		cfg.SampleGrowth = 1.25
+	}
+	v := &VM{
+		Cfg:      cfg,
+		Mem:      mem,
+		eng:      timing.NewEngine(cfg.Timing),
+		bbtCache: codecache.New("bbt", bbtCacheBase, cfg.BBTCacheSize),
+		sbtCache: codecache.New("sbt", sbtCacheBase, cfg.SBTCacheSize),
+		shadow:   make(map[uint32]*codecache.Translation),
+		det:      newDetector(&cfg),
+		edges:    profile.NewEdgeProfile(),
+		xlt:      hwassist.NewXLTUnit(),
+		dmd:      &hwassist.DualModeDecoder{},
+
+		pc:         init.EIP,
+		arch:       *init,
+		nextSample: 1000,
+	}
+	v.nst.LoadArch(init)
+	v.itp = interp.New(&v.arch, mem)
+	v.res.Strategy = cfg.Strategy
+	v.inX86 = cfg.Strategy == StratRef || cfg.Strategy == StratFE
+	return v
+}
+
+// Engine exposes the timing engine (cache/predictor statistics).
+func (v *VM) Engine() *timing.Engine { return v.eng }
+
+// SaveTranslations serializes the live contents of both code caches
+// (FX!32-style persistence: translate once, reuse across runs).
+func (v *VM) SaveTranslations(w io.Writer) error {
+	if err := v.bbtCache.Save(w); err != nil {
+		return err
+	}
+	return v.sbtCache.Save(w)
+}
+
+// LoadTranslations restores previously saved translations into the code
+// caches before (or during) a run, returning how many were loaded.
+// Restored translations are re-analyzed for this machine's pipeline
+// parameters; the architected binary must be the same one they were
+// translated from.
+func (v *VM) LoadTranslations(r io.Reader) (int, error) {
+	br := bufio.NewReader(r) // one buffered view across both sections
+	nb, err := v.bbtCache.Load(br)
+	if err != nil {
+		return nb, err
+	}
+	ns, err := v.sbtCache.Load(br)
+	if err != nil {
+		return nb + ns, err
+	}
+	for _, c := range []*codecache.Cache{v.bbtCache, v.sbtCache} {
+		c.ForEach(func(t *codecache.Translation) {
+			timing.AnalyzeWith(t, v.Cfg.Timing)
+		})
+	}
+	return nb + ns, nil
+}
+
+// Caches exposes the code caches for inspection.
+func (v *VM) Caches() (bbtC, sbtC *codecache.Cache) { return v.bbtCache, v.sbtCache }
+
+// DetectorCount returns the profiled entry count for a region.
+func (v *VM) DetectorCount(pc uint32) uint64 { return v.det.Count(pc) }
+
+// OnBranch implements fisa.BranchProbe: conditional branches inside
+// translations train the predictor; misprediction bubbles are queued for
+// the timing replay in program order.
+func (v *VM) OnBranch(pc uint32, taken bool) {
+	pen := 0.0
+	if v.eng.Pred.Cond(pc, taken) {
+		pen = float64(v.eng.P.MispredictPenalty)
+	}
+	v.eng.NoteBranch(pen)
+}
+
+func (v *VM) setMode(x86mode bool) {
+	if x86mode {
+		v.eng.P.MispredictPenalty = v.Cfg.MispredictPenaltyX86
+	} else {
+		v.eng.P.MispredictPenalty = v.Cfg.Timing.MispredictPenalty
+	}
+}
+
+// charge advances the machine clock by cycles of software activity and
+// attributes them to cat.
+func (v *VM) charge(cat Category, cycles float64) {
+	v.eng.AdvanceClock(cycles)
+	v.res.Cat[cat] += cycles
+	v.cycles = v.eng.Now()
+}
+
+// attribute books already-elapsed machine time (from the dataflow
+// replay) to cat.
+func (v *VM) attribute(cat Category, delta float64) {
+	v.res.Cat[cat] += delta
+	v.cycles = v.eng.Now()
+}
+
+func (v *VM) sampleIfDue() {
+	for v.cycles >= v.nextSample {
+		v.res.Samples = append(v.res.Samples, v.snapshot())
+		v.nextSample *= v.Cfg.SampleGrowth
+	}
+}
+
+func (v *VM) snapshot() Sample {
+	return Sample{
+		Cycles:  v.cycles,
+		Instrs:  v.res.Instrs,
+		Cat:     v.res.Cat,
+		XltBusy: float64(v.xlt.BusyCycles),
+	}
+}
+
+// Run executes until maxInstrs architected instructions (cumulative over
+// the VM's lifetime) have retired or the program halts. It may be called
+// again with a larger budget to continue the same machine — e.g. after
+// flushing the caches to study the code-cache-warm startup scenario.
+func (v *VM) Run(maxInstrs uint64) (*Result, error) {
+	for !v.halted && v.res.Instrs < maxInstrs {
+		t, cat, err := v.dispatch()
+		if err != nil {
+			return &v.res, err
+		}
+		if err := v.execute(t, cat); err != nil {
+			return &v.res, err
+		}
+		v.sampleIfDue()
+	}
+	v.res.Cycles = v.cycles
+	v.res.Halted = v.halted
+	v.res.XltInvocations = v.xlt.Invocations
+	v.res.XltBusyCycles = v.xlt.BusyCycles
+	v.res.Samples = append(v.res.Samples, v.snapshot())
+	return &v.res, nil
+}
+
+// dispatch resolves the next unit of execution for v.pc, translating as
+// needed, charging VMM costs, chaining the previous exit, and running
+// hotspot detection.
+func (v *VM) dispatch() (*codecache.Translation, Category, error) {
+	cfg := &v.Cfg
+
+	// Fast path: follow a valid chain from the previous exit.
+	var t *codecache.Translation
+	if v.prevT != nil {
+		e := &v.prevT.Exits[v.prevExit]
+		if c := e.Chained; c != nil && !c.Invalid && c.Epoch == v.cacheOf(c).Epoch() {
+			t = c
+		}
+	}
+
+	dispatchCost := false
+	if t == nil {
+		// Lookup: optimized code first.
+		if cfg.Strategy.UsesSBT() {
+			if s := v.sbtCache.Lookup(v.pc); s != nil {
+				t = s
+			}
+		}
+		if t == nil {
+			var err error
+			t, err = v.coldUnit()
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		dispatchCost = true
+		// Chain the previous direct exit to the found translation.
+		if v.prevT != nil && !v.prevT.Shadow && !t.Shadow {
+			e := &v.prevT.Exits[v.prevExit]
+			if e.Kind == codecache.ExitFall || e.Kind == codecache.ExitTaken || e.Kind == codecache.ExitSide {
+				v.cacheOf(t).Chain(v.prevT, v.prevExit, t)
+			}
+		}
+	}
+
+	cat := v.categoryOf(t)
+
+	// VMM dispatch cost: only translated-code machines pay it; x86-mode
+	// and interpreter transitions are folded into their per-instruction
+	// costs. In VM.fe, crossings between x86-mode and translated code
+	// are resolved by the hardware jump-TLB of the dual-mode frontend,
+	// so transitions out of shadow blocks pay no software dispatch.
+	fromShadow := v.prevT != nil && v.prevT.Shadow
+	if dispatchCost && !t.Shadow && (cfg.Strategy.UsesBBT() || t.Kind == codecache.KindSBT) &&
+		!(cfg.Strategy == StratFE && fromShadow) {
+		v.charge(CatVMM, cfg.DispatchCycles)
+	}
+
+	// Mode switches (VM.fe): crossing between x86-mode and native mode.
+	if cfg.Strategy == StratFE {
+		x86mode := cat == CatX86Emu
+		if x86mode != v.inX86 {
+			v.charge(CatVMM, cfg.ModeSwitchCycles)
+			v.inX86 = x86mode
+		}
+	}
+
+	// Hotspot detection on non-optimized code.
+	if cfg.Strategy.UsesSBT() && t.Kind != codecache.KindSBT {
+		if v.det.RecordEntry(v.pc, t.NumX86) {
+			if err := v.formSuperblock(v.pc); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return t, cat, nil
+}
+
+func (v *VM) categoryOf(t *codecache.Translation) Category {
+	if t.Kind == codecache.KindSBT {
+		return CatSBTEmu
+	}
+	switch v.Cfg.Strategy {
+	case StratRef, StratFE:
+		return CatX86Emu
+	case StratInterp:
+		return CatInterp
+	case StratStaged3:
+		if t.Shadow {
+			return CatInterp
+		}
+		return CatBBTEmu
+	default:
+		return CatBBTEmu
+	}
+}
+
+func (v *VM) cacheOf(t *codecache.Translation) *codecache.Cache {
+	if t.Kind == codecache.KindSBT {
+		return v.sbtCache
+	}
+	return v.bbtCache
+}
+
+// coldUnit produces the execution unit for untranslated code at v.pc
+// according to the strategy.
+func (v *VM) coldUnit() (*codecache.Translation, error) {
+	cfg := &v.Cfg
+	switch cfg.Strategy {
+	case StratRef, StratFE, StratInterp:
+		// x86-mode / interpretation: the "translation" is a shadow block
+		// representing what the hardware decoders (or the interpreter's
+		// dispatch loop) process; building it costs nothing.
+		if t := v.shadow[v.pc]; t != nil {
+			return t, nil
+		}
+		t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
+		if err != nil {
+			return nil, err
+		}
+		t.Shadow = true
+		timing.AnalyzeWith(t, cfg.Timing)
+		v.shadow[v.pc] = t
+		return t, nil
+
+	case StratSoft, StratBE:
+		if t := v.bbtCache.Lookup(v.pc); t != nil && !t.Invalid {
+			return t, nil
+		}
+		return v.translateBBT()
+
+	case StratStaged3:
+		if t := v.bbtCache.Lookup(v.pc); t != nil && !t.Invalid {
+			return t, nil
+		}
+		// Interpret first-touch code; promote to BBT once the block has
+		// re-executed enough to repay translation.
+		if t := v.shadow[v.pc]; t != nil {
+			if t.ExecCount < uint64(cfg.InterpToBBT) {
+				return t, nil
+			}
+			delete(v.shadow, v.pc)
+			return v.translateBBT()
+		}
+		t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
+		if err != nil {
+			return nil, err
+		}
+		t.Shadow = true
+		timing.AnalyzeWith(t, cfg.Timing)
+		v.shadow[v.pc] = t
+		return t, nil
+	}
+	return nil, fmt.Errorf("vmm: unknown strategy %v", cfg.Strategy)
+}
+
+// translateBBT runs the basic-block translator at v.pc, charging the
+// per-instruction translation cost of the configuration.
+func (v *VM) translateBBT() (*codecache.Translation, error) {
+	cfg := &v.Cfg
+	t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
+	if err != nil {
+		return nil, err
+	}
+	timing.AnalyzeWith(t, cfg.Timing)
+
+	complex := 0
+	for i := range t.Uops {
+		if t.Uops[i].Op == fisa.UCALLOUT {
+			complex++
+		}
+	}
+	simple := t.NumX86 - complex
+
+	var cost float64
+	switch cfg.Strategy {
+	case StratBE:
+		// HAloop with the XLTx86 unit; complex instructions fall back to
+		// software cracking (Flag_cmplx).
+		cost = cfg.BBTCyclesPerInst*float64(simple) + cfg.BBTComplexCycles*float64(complex)
+		v.xlt.Invocations += uint64(t.NumX86)
+		v.xlt.BusyCycles += uint64(v.xlt.Latency * simple)
+		v.xlt.ComplexFallbacks += uint64(complex)
+		// Fsrc streaming buffer and direct code-cache writeback: no
+		// data-cache pollution (§4.2).
+	default:
+		cost = cfg.BBTCyclesPerInst * float64(t.NumX86)
+		// The software translator reads architected code through the
+		// data cache and writes the translation through it as well.
+		v.eng.Caches.Touch(t.EntryPC, t.X86Bytes, false)
+	}
+	v.charge(CatBBTXlate, cost)
+
+	flushed, err := v.bbtCache.Insert(t)
+	if err != nil {
+		return nil, err
+	}
+	if flushed {
+		v.onBBTFlush()
+	}
+	if cfg.Strategy == StratSoft {
+		v.eng.Caches.Touch(t.Addr, t.Size, true)
+	}
+	v.res.BBTTranslations++
+	v.res.BBTX86Translated += uint64(t.NumX86)
+	return t, nil
+}
+
+// formSuperblock translates and optimizes the hot region entered at pc.
+func (v *VM) formSuperblock(pc uint32) error {
+	cfg := &v.Cfg
+	t, err := sbt.Form(v.Mem, pc, v.edges, cfg.SBT)
+	if err != nil {
+		return err
+	}
+	timing.AnalyzeWith(t, cfg.Timing)
+	v.charge(CatSBTXlate, cfg.SBTCyclesPerInst*float64(t.NumX86))
+	// The optimizer reads the architected code and writes the superblock
+	// through the data cache (it is software in every configuration).
+	v.eng.Caches.Touch(pc, t.X86Bytes, false)
+
+	flushed, err := v.sbtCache.Insert(t)
+	if err != nil {
+		return err
+	}
+	if flushed {
+		v.onSBTFlush()
+	}
+	v.eng.Caches.Touch(t.Addr, t.Size, true)
+
+	// Retire the BBT block (or shadow profile state) it supersedes.
+	if old := v.bbtCache.Lookup(pc); old != nil && !old.Invalid {
+		old.Invalid = true
+		v.invalidated = append(v.invalidated, old)
+	}
+	v.res.SBTTranslations++
+	v.res.SBTX86Translated += uint64(t.NumX86)
+	return nil
+}
+
+// onBBTFlush handles a basic-block code cache flush: chains into the old
+// epoch die automatically (epoch check); profiling state is kept (the
+// blocks remain warm in the detector, as with a real software counter
+// table in VMM memory).
+func (v *VM) onBBTFlush() {
+	v.invalidated = v.invalidated[:0]
+}
+
+// onSBTFlush handles a superblock cache flush: superseded BBT blocks
+// become live again and regions must be re-detected before re-optimizing.
+func (v *VM) onSBTFlush() {
+	for _, t := range v.invalidated {
+		t.Invalid = false
+	}
+	v.invalidated = v.invalidated[:0]
+	v.det = newDetector(&v.Cfg)
+}
+
+// execute runs one translation, replays it through the dataflow timing
+// model, and charges its cycles to cat.
+func (v *VM) execute(t *codecache.Translation, cat Category) error {
+	cfg := &v.Cfg
+	x86mode := cat == CatX86Emu
+	v.setMode(x86mode)
+
+	env := fisa.Env{St: &v.nst, Mem: v.Mem, Probe: v.eng}
+	if cat != CatInterp {
+		env.Branch = v
+	}
+
+	before := v.eng.Now()
+
+	// Instruction fetch stalls delay the whole frontend.
+	switch cat {
+	case CatInterp:
+		v.eng.AdvanceClock(v.interpFetch(t))
+	case CatX86Emu:
+		v.eng.AdvanceClock(v.eng.FetchCycles(t.EntryPC, t.X86Bytes))
+	default:
+		v.eng.AdvanceClock(v.eng.FetchCycles(t.Addr, t.Size))
+	}
+
+	var total fisa.ExecStats
+	start := 0
+	var exitIdx int
+	for {
+		kind, idx, st, err := fisa.Exec(&env, t.Uops, start)
+		if err != nil {
+			return fmt.Errorf("vmm: executing %v block at %#x: %w", t.Kind, t.EntryPC, err)
+		}
+		total.Uops += st.Uops
+		total.Entities += st.Entities
+		total.Loads += st.Loads
+		total.Stores += st.Stores
+		total.Boundaries += st.Boundaries
+
+		// Timing replay over the executed (linear) ranges.
+		if cat == CatInterp {
+			v.eng.AdvanceClock(cfg.InterpCyclesPerInst*float64(st.Boundaries) + v.eng.DrainQueues())
+		} else if st.TakenBranchIdx >= 0 {
+			v.eng.ChargeRange(t.Uops, start, st.TakenBranchIdx)
+			v.eng.ChargeRange(t.Uops, idx, idx)
+		} else {
+			v.eng.ChargeRange(t.Uops, start, idx)
+		}
+
+		if kind == fisa.StopCallout {
+			if err := v.calloutExec(t.Uops[idx].X86PC); err != nil {
+				return err
+			}
+			v.eng.Serialize()
+			if cat != CatInterp && cat != CatX86Emu {
+				v.eng.AdvanceClock(cfg.CalloutCycles)
+			}
+			v.res.Callouts++
+			start = idx + 1
+			continue
+		}
+		exitIdx = int(t.Uops[idx].Imm)
+		break
+	}
+
+	if cat == CatBBTEmu {
+		v.eng.AdvanceClock(cfg.ProfilingCycles) // embedded software profiling
+	}
+	if cat == CatX86Emu {
+		v.dmd.OnX86Mode(total.Boundaries)
+		v.res.X86ModeCycles += v.eng.Now() - before
+	} else if cat != CatInterp {
+		v.dmd.OnNativeMode(total.Uops)
+	}
+	v.attribute(cat, v.eng.Now()-before)
+
+	// Statistics.
+	v.res.Instrs += uint64(total.Boundaries)
+	t.ExecCount++
+	switch cat {
+	case CatSBTEmu:
+		v.res.SBTInstrs += uint64(total.Boundaries)
+		v.res.SBTUops += uint64(total.Uops)
+		v.res.SBTEntities += uint64(total.Entities)
+	case CatBBTEmu:
+		v.res.BBTInstrs += uint64(total.Boundaries)
+		v.res.BBTUops += uint64(total.Uops)
+		v.res.BBTEntities += uint64(total.Entities)
+	case CatX86Emu:
+		v.res.X86Instrs += uint64(total.Boundaries)
+	case CatInterp:
+		v.res.InterpInstrs += uint64(total.Boundaries)
+	}
+
+	return v.resolveExit(t, exitIdx, cat)
+}
+
+// calloutExec executes one complex architected instruction via the
+// interpreter with precise state (Fig. 1b's precise-state mapping).
+func (v *VM) calloutExec(pc uint32) error {
+	v.nst.StoreArch(&v.arch)
+	v.arch.EIP = pc
+	in, err := x86.DecodeMem(v.Mem, pc)
+	if err != nil {
+		return err
+	}
+	v.itp.Halted = false
+	if err := v.itp.Exec(in); err != nil {
+		return fmt.Errorf("vmm: callout at %#x: %w", pc, err)
+	}
+	v.nst.LoadArch(&v.arch)
+	return nil
+}
+
+// interpFetch charges the interpreter's reads of architected code bytes
+// (data-side accesses).
+func (v *VM) interpFetch(t *codecache.Translation) float64 {
+	const line = 64
+	stall := 0.0
+	first := t.EntryPC &^ (line - 1)
+	last := (t.EntryPC + uint32(t.X86Bytes)) &^ (line - 1)
+	for a := first; ; a += line {
+		stall += float64(v.eng.Caches.DataPenalty(a, false))
+		if a >= last {
+			break
+		}
+	}
+	return stall
+}
+
+// resolveExit consumes the translation exit, performing target
+// resolution, control-transfer prediction and edge profiling.
+func (v *VM) resolveExit(t *codecache.Translation, exitIdx int, cat Category) error {
+	cfg := &v.Cfg
+	e := &t.Exits[exitIdx]
+	e.Count++
+
+	var next uint32
+	switch e.Kind {
+	case codecache.ExitHalt:
+		v.halted = true
+		v.prevT = nil
+		return nil
+
+	case codecache.ExitIndirect:
+		next = v.nst.R[e.TargetReg]
+		var pen float64
+		switch {
+		case e.Ret:
+			pen = v.eng.BranchCycles(timing.CTIRet, e.BranchPC, next, 0, true)
+		case e.Call:
+			pen = v.eng.BranchCycles(timing.CTIIndirect, e.BranchPC, next, e.ReturnPC, true)
+			v.eng.BranchCycles(timing.CTICall, e.BranchPC, next, e.ReturnPC, true)
+		default:
+			pen = v.eng.BranchCycles(timing.CTIIndirect, e.BranchPC, next, 0, true)
+		}
+		v.charge(cat, pen)
+		// Software indirect-target lookup for translated code. Returns
+		// are exempt: the co-designed pipeline predicts them into the
+		// code cache with a dual-address return address stack (the
+		// hardware support for control transfers of Kim & Smith, cited
+		// as the design's mechanism), so only computed jumps and
+		// indirect calls take the software hash path.
+		if !t.Shadow && cat != CatInterp && !e.Ret {
+			v.charge(CatVMM, cfg.IndirectCycles)
+		}
+
+	default: // Fall, Taken, Side — static target
+		next = e.Target
+		if e.Call {
+			v.eng.BranchCycles(timing.CTICall, e.BranchPC, next, e.ReturnPC, true)
+		}
+		// Conditional-branch prediction was handled by the UBR probe
+		// during execution; direct jumps/calls resolve in decode.
+		if cfg.Strategy.UsesSBT() && t.Kind != codecache.KindSBT && e.BranchPC != 0 {
+			v.edges.Record(e.BranchPC, next)
+		}
+	}
+
+	v.pc = next
+	v.prevT, v.prevExit = t, exitIdx
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package vmm implements the virtual machine monitor: the concealed
+// runtime that orchestrates staged emulation (Fig. 1b of the paper). It
+// owns the code caches, the hotspot detector, the dispatch loop with
+// translation chaining, precise-state callouts for complex instructions,
+// the timing engine, and per-category cycle accounting used by the
+// startup experiments (Figs. 2 and 8-11).
+//
+// The same runtime, parameterized by Strategy, realizes every machine of
+// Table 2: the reference superscalar (pure x86-mode execution), VM.soft
+// (software BBT + SBT), VM.be (XLTx86-assisted BBT + SBT), VM.fe
+// (dual-mode decoders + SBT) and the interpreter-based staged VM of
+// Fig. 2.
+package vmm
+
+import (
+	"codesignvm/internal/bbt"
+	"codesignvm/internal/profile"
+	"codesignvm/internal/sbt"
+	"codesignvm/internal/timing"
+)
+
+// Strategy selects the emulation scheme.
+type Strategy uint8
+
+// Emulation strategies.
+const (
+	// StratRef is the reference superscalar: hardware x86 decoders, no
+	// translation, no hotspot optimization.
+	StratRef Strategy = iota
+	// StratInterp is interpretation followed by SBT hotspot optimization.
+	StratInterp
+	// StratSoft is software BBT followed by SBT (the baseline VM).
+	StratSoft
+	// StratBE is BBT assisted by the XLTx86 backend functional unit,
+	// followed by SBT.
+	StratBE
+	// StratFE is dual-mode frontend decoding (x86-mode execution for
+	// cold code) with SBT hotspot optimization and BBB hotspot
+	// detection.
+	StratFE
+	// StratStaged3 is the Efficeon-style three-stage strategy the
+	// paper's related work describes (§1.2): interpret first-touch code,
+	// translate blocks with BBT once they re-execute a few times
+	// (Eq. 2 applied to the interpret→BBT transition gives a threshold
+	// of ~2-4), and optimize hotspots with SBT at the usual threshold.
+	StratStaged3
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StratRef:
+		return "Ref: superscalar"
+	case StratInterp:
+		return "VM.interp"
+	case StratSoft:
+		return "VM.soft"
+	case StratBE:
+		return "VM.be"
+	case StratFE:
+		return "VM.fe"
+	case StratStaged3:
+		return "VM.3stage"
+	}
+	return "strategy?"
+}
+
+// UsesBBT reports whether the strategy translates cold code with BBT.
+func (s Strategy) UsesBBT() bool {
+	return s == StratSoft || s == StratBE || s == StratStaged3
+}
+
+// UsesSBT reports whether the strategy optimizes hotspots.
+func (s Strategy) UsesSBT() bool { return s != StratRef }
+
+// Category buckets every simulated cycle (Fig. 10's breakdown).
+type Category int
+
+// Cycle categories.
+const (
+	CatBBTXlate Category = iota // BBT translation (software or assisted)
+	CatSBTXlate                 // superblock translation/optimization
+	CatBBTEmu                   // executing BBT translations
+	CatSBTEmu                   // executing SBT translations
+	CatX86Emu                   // x86-mode execution (Ref and VM.fe cold code)
+	CatInterp                   // interpretation (VM.interp cold code)
+	CatVMM                      // dispatch, lookup, chaining, mode switches
+	NumCategories
+)
+
+var catNames = [NumCategories]string{
+	"bbt-xlate", "sbt-xlate", "bbt-emu", "sbt-emu", "x86-emu", "interp", "vmm",
+}
+
+func (c Category) String() string { return catNames[c] }
+
+// Config parameterizes one machine (Table 2 plus the §3.2 cost
+// constants).
+type Config struct {
+	Strategy Strategy
+
+	// HotThreshold is the region-entry count that triggers SBT (Eq. 2):
+	// 8000 for BBT-based schemes, ~25 for interpretation.
+	HotThreshold uint64
+
+	// InterpToBBT is the entry count at which the three-stage strategy
+	// promotes an interpreted block to a BBT translation (Eq. 2 applied
+	// to the interpret→BBT transition: ΔBBT ≈ 2 interpreted-instruction
+	// equivalents, so a handful of executions repay translation).
+	InterpToBBT uint64
+
+	// Translation and emulation costs, in cycles per x86 instruction.
+	BBTCyclesPerInst    float64 // 83 software (VM.soft), 20 assisted (VM.be)
+	BBTComplexCycles    float64 // software fallback cost per complex instruction
+	SBTCyclesPerInst    float64 // ΔSBT ≈ 1674 native instrs at optimized-code IPC ≈ 880 cycles
+	InterpCyclesPerInst float64 // interpreter cost
+	DispatchCycles      float64 // VMM dispatch through the lookup table
+	IndirectCycles      float64 // software indirect-target lookup per transition
+	ProfilingCycles     float64 // embedded software profiling per BBT block execution
+	ModeSwitchCycles    float64 // x86-mode <-> native-mode switch (VM.fe)
+	CalloutCycles       float64 // VMM entry/exit around a complex-instruction callout
+
+	// Pipeline parameters. MispredictPenaltyX86 applies while executing
+	// in x86-mode (two extra decode stages, Table 2).
+	Timing               timing.Params
+	MispredictPenaltyX86 int
+
+	// Code cache capacities (bytes).
+	BBTCacheSize uint32
+	SBTCacheSize uint32
+
+	BBT bbt.Config
+	SBT sbt.Config
+
+	// BBBEntries sizes the hardware branch behavior buffer (VM.fe).
+	BBBEntries int
+
+	// Sampling of the startup curves: geometric spacing factor for
+	// cycle-indexed samples.
+	SampleGrowth float64
+}
+
+// DefaultConfig returns the baseline configuration for a strategy, using
+// the paper's constants.
+func DefaultConfig(s Strategy) Config {
+	cfg := Config{
+		Strategy:             s,
+		HotThreshold:         8000,
+		BBTCyclesPerInst:     83,
+		BBTComplexCycles:     83,
+		SBTCyclesPerInst:     880,
+		InterpCyclesPerInst:  45,
+		DispatchCycles:       30,
+		IndirectCycles:       12,
+		ProfilingCycles:      0.5,
+		ModeSwitchCycles:     2,
+		CalloutCycles:        24,
+		Timing:               timing.DefaultParams,
+		MispredictPenaltyX86: timing.DefaultParams.MispredictPenalty + 2,
+		BBTCacheSize:         4 << 20,
+		SBTCacheSize:         4 << 20,
+		BBT:                  bbt.DefaultConfig,
+		SBT:                  sbt.DefaultConfig,
+		BBBEntries:           4096,
+		SampleGrowth:         1.25,
+	}
+	cfg.InterpToBBT = 4
+	switch s {
+	case StratBE:
+		cfg.BBTCyclesPerInst = 20
+	case StratInterp:
+		cfg.HotThreshold = 25
+	}
+	return cfg
+}
+
+// Sample is one point of the startup curve.
+type Sample struct {
+	Cycles  float64
+	Instrs  uint64
+	Cat     [NumCategories]float64
+	XltBusy float64 // cumulative XLTx86 busy cycles (VM.be)
+}
+
+// AggregateIPC returns the aggregate (cumulative) x86 IPC at the sample.
+func (s Sample) AggregateIPC() float64 {
+	if s.Cycles <= 0 {
+		return 0
+	}
+	return float64(s.Instrs) / s.Cycles
+}
+
+// Result collects everything an experiment needs from one run.
+type Result struct {
+	Strategy Strategy
+	Cycles   float64
+	Instrs   uint64
+	Halted   bool
+	Cat      [NumCategories]float64
+	Samples  []Sample
+
+	// Dynamic micro-op statistics by translation kind.
+	BBTUops, BBTEntities uint64
+	SBTUops, SBTEntities uint64
+
+	// Static translation statistics.
+	BBTTranslations, SBTTranslations   uint64
+	BBTX86Translated, SBTX86Translated uint64 // static x86 instrs translated
+
+	// Hardware assist statistics.
+	XltInvocations uint64
+	XltBusyCycles  uint64
+	X86ModeCycles  float64 // cycles with the first-level decoder active
+
+	// Complex-instruction callouts executed.
+	Callouts uint64
+
+	// Hotspot coverage: x86 instructions retired from SBT code.
+	SBTInstrs uint64
+	// Instructions retired from BBT code / x86-mode / interpreter.
+	BBTInstrs    uint64
+	X86Instrs    uint64
+	InterpInstrs uint64
+}
+
+// IPC returns the aggregate x86 IPC of the run.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / r.Cycles
+}
+
+// HotspotCoverage returns the fraction of retired instructions that came
+// from optimized superblock code.
+func (r *Result) HotspotCoverage() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.SBTInstrs) / float64(r.Instrs)
+}
+
+// detector abstracts the two hotspot-detection mechanisms.
+type detector interface {
+	RecordEntry(pc uint32, instrs int) bool
+	Count(pc uint32) uint64
+}
+
+// newDetector builds the right detector for the strategy.
+func newDetector(cfg *Config) detector {
+	if cfg.Strategy == StratFE {
+		return profile.NewBBB(cfg.BBBEntries, cfg.HotThreshold)
+	}
+	return profile.NewSoftware(cfg.HotThreshold)
+}
+
+// Concealed-memory layout: code caches live above the architected
+// address space used by workloads.
+const (
+	bbtCacheBase = 0xC0000000
+	sbtCacheBase = 0xD0000000
+)

@@ -1,0 +1,422 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codesignvm/internal/x86"
+)
+
+// Register conventions of generated programs:
+//
+//	EBX — data-region base pointer (set once, preserved everywhere)
+//	EDI — outer-iteration counter (written only by the driver loop)
+//	ESP/EBP — standard frames
+//	EAX/EDX — body scratch
+//	ESI — per-function data pointer
+//	ECX — loop counters (saved/restored around loops)
+
+// warm tier trigger masks: tier t runs every (mask+1)-th outer iteration.
+// With long-running kernels per iteration, outer iterations are scarce;
+// small masks keep the Fig. 3 frequency ladder populated.
+var tierMasks = []uint32{0x0, 0x3, 0xF, 0x3F}
+
+// tierRepeats is how many times each triggered tier function is invoked
+// per trigger: the most frequent tier carries a meaningful share of
+// dynamic instructions (Fig. 3's mid-frequency mass) without crossing
+// the hot threshold within a trace.
+var tierRepeats = []int{3, 2, 1, 1}
+
+// warm tier shares of the warm static budget.
+var tierShares = []float64{0.35, 0.25, 0.22, 0.18}
+
+type gen struct {
+	p     Params
+	scale int
+	rng   *rand.Rand
+	a     *x86.Asm
+
+	emitted     int
+	hotEmitted  int
+	initEmitted int
+	warmEmitted int
+	numKernels  int
+	dataWS      int
+	wsMask      uint32
+	entry       uint32
+
+	bucket  *int // current tier counter (points at one of the *Emitted)
+	labelID int
+}
+
+func newGen(p Params, scale int) *gen {
+	ws := p.DataWS / scale
+	if ws < 1<<16 {
+		ws = 1 << 16
+	}
+	// Round the working set down to a power of two for masking.
+	pow := 1
+	for pow*2 <= ws {
+		pow *= 2
+	}
+	return &gen{
+		p:      p,
+		scale:  scale,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		a:      x86.NewAsm(CodeBase),
+		dataWS: pow,
+		wsMask: uint32(pow - 1),
+	}
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelID++
+	return fmt.Sprintf(".%s%d", prefix, g.labelID)
+}
+
+// n counts emitted instructions into the current tier bucket.
+func (g *gen) n(k int) {
+	g.emitted += k
+	if g.bucket != nil {
+		*g.bucket += k
+	}
+}
+
+// region picks a random cache-line-aligned offset inside the working set
+// with room for smaller strides.
+func (g *gen) region() int32 {
+	return int32(g.rng.Intn(g.dataWS-4096)) &^ 63
+}
+
+// bodyInstr emits one instruction of the application mix. chain selects
+// dependence-chained ALU style (fusable); hot selects the kernel mix.
+func (g *gen) bodyInstr(hot bool) {
+	r := g.rng
+	a := g.a
+	chained := r.Float64() < g.p.Fusability
+
+	memRatio := g.p.MemRatio
+	if hot {
+		// Hot kernels are tighter, more register-resident code.
+		memRatio *= 0.75
+	}
+	if r.Float64() < memRatio {
+		off := int32(r.Intn(960))
+		switch r.Intn(5) {
+		case 0:
+			a.Mov(4, x86.R(x86.EAX), x86.M(x86.ESI, off))
+		case 1:
+			a.Mov(4, x86.M(x86.ESI, off), x86.R(x86.EDX))
+		case 2:
+			a.ALU(x86.ADD, 4, x86.R(x86.EAX), x86.M(x86.ESI, off))
+		case 3:
+			a.Movzx(x86.EDX, x86.M(x86.ESI, off), []uint8{1, 2}[r.Intn(2)])
+		default:
+			a.ALU(x86.CMP, 4, x86.R(x86.EAX), x86.M(x86.ESI, off))
+		}
+		g.n(1)
+		return
+	}
+
+	dst, src := x86.EAX, x86.EDX
+	if !chained && r.Intn(2) == 0 {
+		dst, src = x86.EDX, x86.EAX
+	}
+	alu := []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR}
+	switch r.Intn(8) {
+	case 0, 1:
+		a.ALU(alu[r.Intn(len(alu))], 4, x86.R(dst), x86.R(src))
+	case 2:
+		a.ALUI(alu[r.Intn(len(alu))], 4, x86.R(dst), int32(int16(r.Uint32())))
+	case 3:
+		a.ShiftI([]x86.Op{x86.SHL, x86.SHR, x86.SAR}[r.Intn(3)], 4, x86.R(dst), uint8(1+r.Intn(15)))
+	case 4:
+		a.Lea(dst, x86.MSIB(x86.ESI, src, []uint8{1, 2, 4}[r.Intn(3)], int32(r.Intn(64))))
+	case 5:
+		if hot && chained {
+			a.Imul(dst, x86.R(src))
+		} else {
+			a.MovRI(dst, r.Uint32())
+		}
+	case 6:
+		a.Inc(dst)
+	default:
+		a.ALU(x86.ADD, 1, x86.R(dst), x86.R(src)) // byte-width partial op
+	}
+	g.n(1)
+}
+
+// branchSegment emits a short conditional-skip pattern; predictability
+// follows the application's BranchBias.
+func (g *gen) branchSegment(hot bool) {
+	r := g.rng
+	a := g.a
+	skip := g.label("s")
+	if r.Float64() < g.p.BranchBias {
+		// Predictable: a long-period counter-bit test.
+		bit := int32(1) << (4 + r.Intn(6))
+		a.TestI(4, x86.R(x86.EDI), bit)
+		a.Jcc(x86.CondNE, skip)
+		g.n(2)
+	} else {
+		// Data-dependent 50/50: low bit of a loaded value.
+		a.Mov(4, x86.R(x86.EDX), x86.M(x86.ESI, int32(r.Intn(512))))
+		a.TestI(4, x86.R(x86.EDX), 1)
+		a.Jcc(x86.CondNE, skip)
+		g.n(3)
+	}
+	k := 1 + r.Intn(3)
+	for i := 0; i < k; i++ {
+		g.bodyInstr(hot)
+	}
+	a.Label(skip)
+}
+
+// complexInstr emits one complex-class instruction with safe operands.
+func (g *gen) complexInstr() {
+	r := g.rng
+	a := g.a
+	switch r.Intn(3) {
+	case 0:
+		a.MovRI(x86.EAX, r.Uint32())
+		a.MovRI(x86.EDX, 0)
+		a.MovRI(x86.ECX, uint32(3+r.Intn(997)))
+		a.Div(x86.R(x86.ECX))
+		g.n(4)
+	case 1:
+		a.MovRI(x86.EAX, r.Uint32())
+		a.Mul1(x86.R(x86.EDX))
+		g.n(2)
+	default:
+		// memset-like fill inside the working set.
+		a.Push(x86.EDI)
+		a.Push(x86.ECX)
+		a.MovRI(x86.EDI, DataBase+uint32(g.region()))
+		a.MovRI(x86.EAX, r.Uint32())
+		a.MovRI(x86.ECX, uint32(8+r.Intn(24)))
+		a.RepStosd()
+		a.Pop(x86.ECX)
+		a.Pop(x86.EDI)
+		g.n(7)
+	}
+}
+
+// run emits approximately budget instructions of straight-ish code with
+// periodic branches and (for cold tiers) complex instructions.
+func (g *gen) run(budget int, hot bool, complexRate int) {
+	r := g.rng
+	left := budget
+	for left > 0 {
+		if complexRate > 0 && r.Intn(1000) < complexRate*2 {
+			g.complexInstr()
+			left -= 5
+			continue
+		}
+		if r.Intn(10) < 3 {
+			g.branchSegment(hot)
+			left -= 5
+		} else {
+			g.bodyInstr(hot)
+			left--
+		}
+	}
+}
+
+// prologue/epilogue emit the standard frame (counted).
+func (g *gen) prologue() {
+	g.a.Push(x86.EBP)
+	g.a.MovRR(4, x86.EBP, x86.ESP)
+	g.n(2)
+}
+
+func (g *gen) epilogue() {
+	g.a.MovRR(4, x86.ESP, x86.EBP)
+	g.a.Pop(x86.EBP)
+	g.a.Ret()
+	g.n(3)
+}
+
+// setDataPtr points ESI into the working set; hot kernels walk it with
+// the iteration counter so the data working set is actually exercised.
+func (g *gen) setDataPtr(walk bool) {
+	a := g.a
+	if walk {
+		a.Mov(4, x86.R(x86.EAX), x86.R(x86.EDI))
+		a.ShiftI(x86.SHL, 4, x86.R(x86.EAX), 7)
+		a.ALUI(x86.AND, 4, x86.R(x86.EAX), int32(g.wsMask&^4095))
+		a.Lea(x86.ESI, x86.MSIB(x86.EBX, x86.EAX, 1, 0))
+		g.n(4)
+		return
+	}
+	a.Lea(x86.ESI, x86.M(x86.EBX, g.region()))
+	g.n(1)
+}
+
+// emitKernel builds one hot kernel function with two nesting levels: a
+// small, very tight core loop inside a mid-level loop. The core blocks
+// cross the 8000-execution hot threshold early in a run; the mid-level
+// blocks cross much later — so hotspot coverage *grows* over the trace,
+// matching the paper's observation (63% at 100M instructions, 75+% at
+// 500M).
+func (g *gen) emitKernel(name string, budget int) {
+	a := g.a
+	r := g.rng
+	a.Label(name)
+	g.prologue()
+	g.setDataPtr(true)
+
+	pre := budget / 6
+	core := 8 + r.Intn(6)
+	mid := budget - pre - core
+	if mid < 8 {
+		mid = 8
+	}
+	g.run(pre, true, 0)
+
+	tripsO := g.p.InnerTrips/2 + r.Intn(g.p.InnerTrips)
+	tripsC := 8 + r.Intn(10)
+
+	outer := g.label("ko")
+	a.Push(x86.ECX)
+	a.MovRI(x86.ECX, uint32(tripsO))
+	g.n(2)
+	a.Label(outer)
+	g.run(mid, true, 0)
+
+	inner := g.label("kc")
+	a.Push(x86.ECX)
+	a.MovRI(x86.ECX, uint32(tripsC))
+	g.n(2)
+	a.Label(inner)
+	g.run(core, true, 0)
+	a.ALUI(x86.ADD, 4, x86.R(x86.ESI), int32(16+r.Intn(48))&^3)
+	a.Dec(x86.ECX)
+	a.Jcc(x86.CondNE, inner)
+	a.Pop(x86.ECX)
+	g.n(4)
+
+	a.Dec(x86.ECX)
+	a.Jcc(x86.CondNE, outer)
+	a.Pop(x86.ECX)
+	g.n(3)
+	g.epilogue()
+}
+
+// emitPlainFunc builds a warm or init function.
+func (g *gen) emitPlainFunc(name string, budget int, complexRate int) {
+	g.a.Label(name)
+	g.prologue()
+	g.setDataPtr(false)
+	g.run(budget, false, complexRate)
+	g.epilogue()
+}
+
+// build generates the whole program.
+func (g *gen) build() error {
+	a := g.a
+	r := g.rng
+	s := g.p.StaticInstrs / g.scale
+	if s < 1200 {
+		s = 1200
+	}
+	initFrac := g.p.InitFrac
+	if initFrac <= 0 {
+		initFrac = 0.55
+	}
+	hotBudget := int(float64(s) * g.p.HotFrac)
+	initBudget := int(float64(s) * initFrac)
+	warmBudget := s - hotBudget - initBudget
+	if warmBudget < 200 {
+		warmBudget = 200
+	}
+
+	a.Jmp("main")
+	g.n(1)
+
+	// Hot kernels.
+	g.bucket = &g.hotEmitted
+	g.numKernels = 3 + r.Intn(3)
+	kernels := make([]string, g.numKernels)
+	for i := range kernels {
+		kernels[i] = fmt.Sprintf("kern_%d", i)
+		g.emitKernel(kernels[i], hotBudget/g.numKernels)
+	}
+
+	// Warm tiers.
+	g.bucket = &g.warmEmitted
+	tierFns := make([][]string, len(tierMasks))
+	for t := range tierMasks {
+		budget := int(float64(warmBudget) * tierShares[t])
+		const fnSize = 140
+		for budget > 0 {
+			name := fmt.Sprintf("warm_%d_%d", t, len(tierFns[t]))
+			tierFns[t] = append(tierFns[t], name)
+			sz := fnSize
+			if budget < fnSize*3/2 {
+				sz = budget
+			}
+			g.emitPlainFunc(name, sz, g.p.ComplexPerMille)
+			budget -= sz + 10
+		}
+	}
+
+	// Init region.
+	g.bucket = &g.initEmitted
+	var initFns []string
+	{
+		budget := initBudget
+		const fnSize = 170
+		for budget > 0 {
+			name := fmt.Sprintf("init_%d", len(initFns))
+			initFns = append(initFns, name)
+			sz := fnSize
+			if budget < fnSize*3/2 {
+				sz = budget
+			}
+			g.emitPlainFunc(name, sz, g.p.ComplexPerMille)
+			budget -= sz + 10
+		}
+	}
+
+	// Driver.
+	g.bucket = nil
+	g.entry = a.PC()
+	a.Label("main")
+	a.MovRI(x86.EBX, DataBase)
+	a.MovRI(x86.EDI, 0)
+	a.MovRI(x86.EAX, 1)
+	a.MovRI(x86.EDX, 1)
+	g.n(4)
+	for _, fn := range initFns {
+		a.Call(fn)
+		g.n(1)
+	}
+	a.MovRI(x86.EDI, 0)
+	g.n(1)
+	a.Label("outer")
+	for _, k := range kernels {
+		a.Call(k)
+		g.n(1)
+	}
+	for t, mask := range tierMasks {
+		skip := g.label("t")
+		a.Mov(4, x86.R(x86.EAX), x86.R(x86.EDI))
+		a.ALUI(x86.AND, 4, x86.R(x86.EAX), int32(mask))
+		a.Jcc(x86.CondNE, skip)
+		g.n(3)
+		for rep := 0; rep < tierRepeats[t]; rep++ {
+			for _, fn := range tierFns[t] {
+				a.Call(fn)
+				g.n(1)
+			}
+		}
+		a.Label(skip)
+	}
+	a.Inc(x86.EDI)
+	a.ALUI(x86.CMP, 4, x86.R(x86.EDI), 1<<30)
+	a.Jcc(x86.CondNE, "outer")
+	a.Hlt()
+	g.n(4)
+
+	return a.Err()
+}

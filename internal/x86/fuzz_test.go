@@ -1,0 +1,111 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeArbitraryBytes feeds the decoder random byte strings: it must
+// never panic, must never consume more than MaxInstLen bytes, and every
+// successfully decoded instruction must carry a valid mnemonic and
+// consistent operand kinds.
+func TestDecodeArbitraryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xDEC0DE))
+	buf := make([]byte, 24)
+	for i := 0; i < 200000; i++ {
+		for j := range buf {
+			buf[j] = byte(rng.Uint32())
+		}
+		in, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		if in.Len == 0 || in.Len > MaxInstLen {
+			t.Fatalf("iter %d: bad length %d for % x", i, in.Len, buf[:16])
+		}
+		if in.Op == BAD || int(in.Op) >= int(numOps) {
+			t.Fatalf("iter %d: invalid op %d for % x", i, in.Op, buf[:16])
+		}
+		if in.Width != 1 && in.Width != 2 && in.Width != 4 {
+			t.Fatalf("iter %d: bad width %d (%v)", i, in.Width, in)
+		}
+		for _, op := range []Operand{in.Dst, in.Src} {
+			if op.Kind == KindMem {
+				if op.Base != NoBase && (op.Base < 0 || op.Base > 7) {
+					t.Fatalf("iter %d: bad base %d", i, op.Base)
+				}
+				if op.Index != NoIndex && (op.Index < 0 || op.Index > 7) {
+					t.Fatalf("iter %d: bad index %d", i, op.Index)
+				}
+			}
+		}
+		// The String form must never panic either.
+		_ = in.String()
+	}
+}
+
+// TestDecodeTruncationConsistency: any successful decode of a buffer must
+// also succeed (identically) when given exactly Len bytes, and must fail
+// with fewer.
+func TestDecodeTruncationConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	buf := make([]byte, 24)
+	checked := 0
+	for i := 0; i < 50000 && checked < 5000; i++ {
+		for j := range buf {
+			buf[j] = byte(rng.Uint32())
+		}
+		in, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		checked++
+		exact, err := Decode(buf[:in.Len])
+		if err != nil {
+			t.Fatalf("exact-length decode failed for % x: %v", buf[:in.Len], err)
+		}
+		if exact != in {
+			t.Fatalf("decode differs at exact length: %+v vs %+v", exact, in)
+		}
+		if in.Len > 1 {
+			if _, err := Decode(buf[:in.Len-1]); err == nil {
+				// Shorter prefixes may decode as a *different* shorter
+				// instruction (x86 is not prefix-free), but then that
+				// instruction must fit.
+				short, _ := Decode(buf[:in.Len-1])
+				if int(short.Len) > int(in.Len-1) {
+					t.Fatalf("short decode overran its buffer: %+v", short)
+				}
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("too few successful decodes to be meaningful: %d", checked)
+	}
+}
+
+// TestInterpreterArbitraryCode runs the machinery end to end on random
+// bytes: the interpreter must either make progress or return an error —
+// never panic, never loop forever on a single instruction.
+func TestInterpreterArbitraryCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		mem := NewMemory()
+		code := make([]byte, 256)
+		for j := range code {
+			code[j] = byte(rng.Uint32())
+		}
+		mem.WriteBytes(0x400000, code)
+		st := &State{EIP: 0x400000}
+		st.R[ESP] = 0x7FF000
+		// Walk via raw decode steps (the interpreter itself lives in
+		// another package; this validates the decode surface it uses).
+		for steps := 0; steps < 64; steps++ {
+			in, err := DecodeMem(mem, st.EIP)
+			if err != nil {
+				break
+			}
+			st.EIP += uint32(in.Len)
+		}
+	}
+}

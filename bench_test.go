@@ -25,6 +25,9 @@ func benchOpt() codesignvm.Options {
 		ShortInstrs: 3_000_000,
 		Apps:        []string{"Word", "Winzip", "Project"},
 		Sequential:  true,
+		// Every iteration must simulate; cache hits would turn ns/op
+		// into a measurement of the result cache.
+		FreshRuns: true,
 	}
 }
 

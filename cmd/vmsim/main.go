@@ -10,13 +10,23 @@
 //	vmsim -exp run -model VM.be -app Word -instrs 20000000
 //
 // Experiments: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold
-// ablation table1 table2 run all.
+// ablation table1 table2 run sweep all. "sweep" runs the paper's
+// figures (2, 3, 8–11) in one process so they share simulation
+// results; "all" adds the extension experiments.
+//
+// Host-side profiling (see README.md):
+//
+//	vmsim -exp sweep -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -24,25 +34,95 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist pressure coldstart ctxswitch staged deltasweep dump run all")
+	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist pressure coldstart ctxswitch staged deltasweep dump run sweep all")
 	scaleFlag  = flag.Int("scale", 25, "workload scale divisor (1 = paper-sized)")
 	appsFlag   = flag.String("apps", "", "comma-separated subset of benchmarks (default: all ten)")
 	modelFlag  = flag.String("model", "VM.soft", "machine model for -exp run")
 	appFlag    = flag.String("app", "Word", "benchmark for -exp run")
 	instrsFlag = flag.Uint64("instrs", 0, "instruction budget (default 500M/scale)")
-	seqFlag    = flag.Bool("seq", false, "run benchmarks sequentially")
+	seqFlag    = flag.Bool("seq", false, "run the experiment grid sequentially")
+	freshFlag  = flag.Bool("fresh", false, "disable the cross-experiment simulation-result cache")
+
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	stop, err := startProfiling()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
+	err = run()
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmsim:", err)
 		os.Exit(1)
 	}
 }
 
+// startProfiling wires the standard pprof/trace outputs around the run.
+// The returned stop function must run before exit (os.Exit skips
+// defers, so main sequences it explicitly).
+func startProfiling() (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			stop()
+			return func() {}, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return func() {}, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		stops = append(stops, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vmsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vmsim: memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
+}
+
 func options() codesignvm.Options {
-	opt := codesignvm.Options{Scale: *scaleFlag, Sequential: *seqFlag}
+	opt := codesignvm.Options{Scale: *scaleFlag, Sequential: *seqFlag, FreshRuns: *freshFlag}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
 	}
@@ -55,8 +135,14 @@ func options() codesignvm.Options {
 
 func run() error {
 	exps := []string{*expFlag}
-	if *expFlag == "all" {
+	switch *expFlag {
+	case "all":
 		exps = []string{"table2", "table1", "fig3", "overhead", "threshold", "fig2", "fig8", "fig9", "fig10", "fig11", "ablation", "persist", "pressure", "coldstart", "ctxswitch", "staged", "deltasweep"}
+	case "sweep":
+		// The paper's figures in one process: fig8/fig9/fig11 share
+		// their long-trace runs and fig10's VM.soft run seeds the
+		// ablation-style short traces through the result cache.
+		exps = []string{"fig2", "fig3", "fig8", "fig9", "fig10", "fig11"}
 	}
 	for _, exp := range exps {
 		start := time.Now()

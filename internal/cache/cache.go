@@ -38,10 +38,12 @@ type line struct {
 	used  uint64 // LRU timestamp
 }
 
-// Cache is one set-associative cache level.
+// Cache is one set-associative cache level. Lines are stored as one
+// contiguous array (set-major) so an access touches a single allocation.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line // nSets × Ways, set-major
+	ways     uint32
 	setShift uint
 	setMask  uint32
 	tick     uint64
@@ -61,16 +63,13 @@ func New(cfg Config) *Cache {
 	for l := cfg.Line; l > 1; l >>= 1 {
 		shift++
 	}
-	c := &Cache{
+	return &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, nSets),
+		lines:    make([]line, nSets*cfg.Ways),
+		ways:     uint32(cfg.Ways),
 		setShift: shift,
 		setMask:  uint32(nSets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
-	return c
 }
 
 // Config returns the level's configuration.
@@ -82,10 +81,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Flush invalidates every line (used for the memory-startup scenario:
 // caches empty, program resident in memory).
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 }
 
@@ -96,7 +93,7 @@ func (c *Cache) Access(addr uint32, write bool) (hit, wroteBack bool) {
 	c.stats.Accesses++
 	set := (addr >> c.setShift) & c.setMask
 	tag := addr >> c.setShift
-	lines := c.sets[set]
+	lines := c.lines[set*c.ways : (set+1)*c.ways]
 	for i := range lines {
 		if lines[i].valid && lines[i].tag == tag {
 			lines[i].used = c.tick

@@ -1,0 +1,80 @@
+package codecache
+
+// JTLB is a software jump-TLB: a small direct-mapped array mapping
+// architected PCs to translations. It fronts the map-based translation
+// lookup tables (and the VMM's shadow-block table) on the dispatch path,
+// mirroring in the simulator implementation the hardware jump-TLB the
+// paper's VM.fe frontend uses to kill per-block lookup cost (§4.3). The
+// JTLB is a host-side accelerator only: a hit still pays the simulated
+// dispatch-table cost, so simulated timing is identical with or without
+// it.
+//
+// Entries are raw pointers with no validity semantics of their own; the
+// owner must validate a hit (Invalid flag, cache epoch, shadow-table
+// residency, pending stage promotion) before dispatching through it, and
+// must overwrite or evict entries when a translation is superseded.
+type JTLB struct {
+	tags []uint32
+	vals []*Translation
+	mask uint32
+}
+
+// DefaultJTLBEntries sizes the jump-TLB when the owner does not.
+const DefaultJTLBEntries = 4096
+
+// NewJTLB builds a direct-mapped jump-TLB with at least the requested
+// number of entries (rounded up to a power of two).
+func NewJTLB(entries int) *JTLB {
+	if entries <= 0 {
+		entries = DefaultJTLBEntries
+	}
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &JTLB{
+		tags: make([]uint32, n),
+		vals: make([]*Translation, n),
+		mask: uint32(n - 1),
+	}
+}
+
+// index mixes the high PC bits in so the straight-line block layout of
+// large programs does not alias into a fraction of the sets.
+func (j *JTLB) index(pc uint32) uint32 { return (pc ^ pc>>12) & j.mask }
+
+// Lookup returns the cached translation for pc, or nil on a miss. The
+// caller validates the entry before use.
+func (j *JTLB) Lookup(pc uint32) *Translation {
+	i := j.index(pc)
+	if j.tags[i] == pc {
+		return j.vals[i]
+	}
+	return nil
+}
+
+// Insert maps pc to t, displacing whatever shared the set.
+func (j *JTLB) Insert(pc uint32, t *Translation) {
+	i := j.index(pc)
+	j.tags[i] = pc
+	j.vals[i] = t
+}
+
+// Evict clears the entry for pc if it is present.
+func (j *JTLB) Evict(pc uint32) {
+	i := j.index(pc)
+	if j.tags[i] == pc {
+		j.vals[i] = nil
+	}
+}
+
+// Reset clears every entry (e.g. across a simulated context switch).
+func (j *JTLB) Reset() {
+	for i := range j.vals {
+		j.tags[i] = 0
+		j.vals[i] = nil
+	}
+}
+
+// Entries returns the number of sets.
+func (j *JTLB) Entries() int { return len(j.vals) }

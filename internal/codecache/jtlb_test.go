@@ -1,0 +1,73 @@
+package codecache
+
+import "testing"
+
+func TestJTLBBasic(t *testing.T) {
+	j := NewJTLB(8)
+	if j.Entries() != 8 {
+		t.Fatalf("entries = %d, want 8", j.Entries())
+	}
+	if j.Lookup(0x400000) != nil {
+		t.Fatal("empty JTLB returned a translation")
+	}
+	tr := &Translation{EntryPC: 0x400000}
+	j.Insert(0x400000, tr)
+	if got := j.Lookup(0x400000); got != tr {
+		t.Fatalf("lookup = %v, want inserted translation", got)
+	}
+	// A different PC mapping to another set misses.
+	if j.Lookup(0x400004) != nil {
+		t.Fatal("lookup of uninserted PC hit")
+	}
+}
+
+func TestJTLBRoundsUpAndDefaults(t *testing.T) {
+	if got := NewJTLB(5).Entries(); got != 8 {
+		t.Errorf("NewJTLB(5) entries = %d, want 8", got)
+	}
+	if got := NewJTLB(0).Entries(); got != DefaultJTLBEntries {
+		t.Errorf("NewJTLB(0) entries = %d, want %d", got, DefaultJTLBEntries)
+	}
+}
+
+func TestJTLBConflictDisplaces(t *testing.T) {
+	j := NewJTLB(4)
+	a := &Translation{EntryPC: 0x1000}
+	// Find a PC that collides with 0x1000's set.
+	var conflict uint32
+	for pc := uint32(0x2000); ; pc += 4 {
+		if j.index(pc) == j.index(0x1000) && pc != 0x1000 {
+			conflict = pc
+			break
+		}
+	}
+	b := &Translation{EntryPC: conflict}
+	j.Insert(0x1000, a)
+	j.Insert(conflict, b)
+	if j.Lookup(0x1000) != nil {
+		t.Error("displaced entry still hits")
+	}
+	if j.Lookup(conflict) != b {
+		t.Error("displacing entry does not hit")
+	}
+}
+
+func TestJTLBEvictAndReset(t *testing.T) {
+	j := NewJTLB(16)
+	tr := &Translation{EntryPC: 0x3000}
+	j.Insert(0x3000, tr)
+	// Evicting a PC that shares the set but differs must not clear it.
+	j.Evict(0x9999)
+	if j.Lookup(0x3000) != tr {
+		t.Fatal("evict of a different PC cleared the entry")
+	}
+	j.Evict(0x3000)
+	if j.Lookup(0x3000) != nil {
+		t.Fatal("evicted entry still hits")
+	}
+	j.Insert(0x3000, tr)
+	j.Reset()
+	if j.Lookup(0x3000) != nil {
+		t.Fatal("reset entry still hits")
+	}
+}

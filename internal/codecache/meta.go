@@ -1,0 +1,33 @@
+package codecache
+
+import "codesignvm/internal/fisa"
+
+// UopMeta is the precomputed issue shape of the entity that *starts* at
+// the micro-op with the same index: its filtered source registers, flag
+// behaviour, destination registers and base result latency under the
+// owning machine's pipeline parameters. The timing engine's block replay
+// walks this table instead of re-deriving sources and latencies from the
+// micro-ops on every dynamic execution.
+//
+// For a fused macro-op head the entry describes the whole pair (Step
+// 2); for a pair tail the entry describes the tail as a standalone
+// entity, which is what a replay starting mid-pair executes.
+type UopMeta struct {
+	Lat  float64     // base result latency; overridden by the queued load latency when MetaHasLoad
+	Srcs [6]fisa.Reg // source registers, intra-pair collapsed dependences removed
+	Dst1 fisa.Reg    // head destination (MetaHasDst1)
+	Dst2 fisa.Reg    // tail destination (MetaHasDst2)
+	NSrc uint8       // live entries in Srcs
+	Step uint8       // micro-ops the entity consumes (2 for a fused pair)
+	Bits uint8       // Meta* flag bits
+}
+
+// UopMeta flag bits.
+const (
+	MetaReadsFlags uint8 = 1 << iota
+	MetaWritesFlags
+	MetaHasDst1
+	MetaHasDst2
+	MetaHasLoad  // the entity contains a load; consume one queued latency
+	MetaIsBranch // the entity contains a UBR; consume one queued bubble
+)

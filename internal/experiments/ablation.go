@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"codesignvm/internal/fisa"
 	"codesignvm/internal/hwassist"
@@ -52,42 +51,42 @@ func Ablation(opt Options) (*AblationReport, error) {
 	for _, v := range variants {
 		rep.Variants = append(rep.Variants, v.name)
 	}
-	var mu sync.Mutex
-	ipcs := map[string][]float64{}
-	fracs := map[string][]float64{}
-	err := opt.forEachApp(func(app string) error {
-		prog, err := workload.App(app, opt.Scale)
+	// Grid over (app × variant); per-cell stats land in indexed slots
+	// and reduce in suite order, so the harmonic means and averages are
+	// deterministic under parallel scheduling.
+	type cell struct {
+		ipc, frac float64
+	}
+	nv := len(variants)
+	cells := make([]cell, len(opt.Apps)*nv)
+	err := opt.forEachTask(len(cells), func(i int) error {
+		app, v := opt.Apps[i/nv], variants[i%nv]
+		cfg := opt.configFor(machine.VMSoft)
+		v.mod(&cfg)
+		res, err := opt.runApp(cfg, app, opt.ShortInstrs)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s %s: %w", app, v.name, err)
 		}
-		for _, v := range variants {
-			cfg := opt.configFor(machine.VMSoft)
-			v.mod(&cfg)
-			res, err := machine.RunConfig(cfg, prog, opt.ShortInstrs)
-			if err != nil {
-				return fmt.Errorf("%s %s: %w", app, v.name, err)
-			}
-			frac := 0.0
-			if res.SBTUops > 0 {
-				frac = 2 * float64(res.SBTUops-res.SBTEntities) / float64(res.SBTUops)
-			}
-			mu.Lock()
-			ipcs[v.name] = append(ipcs[v.name], metrics.SteadyIPC(res.Samples, 0.5))
-			fracs[v.name] = append(fracs[v.name], frac)
-			mu.Unlock()
+		frac := 0.0
+		if res.SBTUops > 0 {
+			frac = 2 * float64(res.SBTUops-res.SBTEntities) / float64(res.SBTUops)
 		}
+		cells[i] = cell{ipc: metrics.SteadyIPC(res.Samples, 0.5), frac: frac}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, v := range variants {
-		rep.SteadyIPC[v.name] = metrics.HarmonicMean(ipcs[v.name])
+	for vi, v := range variants {
+		ipcs := make([]float64, 0, len(opt.Apps))
 		sum := 0.0
-		for _, f := range fracs[v.name] {
-			sum += f
+		for ai := range opt.Apps {
+			c := cells[ai*nv+vi]
+			ipcs = append(ipcs, c.ipc)
+			sum += c.frac
 		}
-		rep.FusedFrac[v.name] = sum / float64(len(fracs[v.name]))
+		rep.SteadyIPC[v.name] = metrics.HarmonicMean(ipcs)
+		rep.FusedFrac[v.name] = sum / float64(len(opt.Apps))
 	}
 	return rep, nil
 }

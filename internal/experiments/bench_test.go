@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// BenchmarkFig2 measures the end-to-end Figure 2 harness — workload
+// lookup, BBT/SBT translation, timing simulation and report assembly —
+// with result caching disabled so every iteration simulates the full
+// (app × model) grid.
+func BenchmarkFig2(b *testing.B) {
+	opt := Options{
+		Scale:       50,
+		LongInstrs:  2_000_000,
+		ShortInstrs: 500_000,
+		Apps:        []string{"Word", "Winzip", "Project"},
+		FreshRuns:   true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig2(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
@@ -30,8 +32,15 @@ type Options struct {
 	ShortInstrs uint64
 	// Apps restricts the benchmark set (default: the full suite).
 	Apps []string
-	// Sequential disables per-app parallelism (useful for benchmarks).
+	// Sequential disables (app × model) parallelism: the grid runs
+	// inline on the calling goroutine. Reports are byte-identical
+	// either way; parallelism only changes wall-clock time.
 	Sequential bool
+	// FreshRuns bypasses the process-wide simulation-result cache
+	// (the per-(config, app, scale, budget) memoization), forcing
+	// every run to simulate. Used by benchmarks measuring simulation
+	// speed.
+	FreshRuns bool
 	// HotThreshold overrides the Eq. 2 hot threshold (0 keeps the model
 	// default: 8000 for BBT-based schemes, 25 for interpretation). The
 	// interpreted-mode threshold is scaled proportionally. Used for
@@ -73,25 +82,39 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// forEachApp runs fn for every app, in parallel unless disabled, and
-// returns the first error.
-func (o Options) forEachApp(fn func(app string) error) error {
-	if o.Sequential {
-		for _, app := range o.Apps {
-			if err := fn(app); err != nil {
+// forEachTask runs fn for every index in [0, n) on a bounded worker
+// pool (GOMAXPROCS workers; inline when Sequential) and returns the
+// lowest-indexed error. Workers pull indices from a shared counter, so
+// callers must write results into index-addressed slots — never
+// append in completion order — to keep reductions deterministic.
+func (o Options) forEachTask(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if o.Sequential || workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	errs := make([]error, n)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	errs := make([]error, len(o.Apps))
-	for i, app := range o.Apps {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, app string) {
+		go func() {
 			defer wg.Done()
-			errs[i] = fn(app)
-		}(i, app)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -100,6 +123,13 @@ func (o Options) forEachApp(fn func(app string) error) error {
 		}
 	}
 	return nil
+}
+
+// forEachApp runs fn for every app on the bounded pool.
+func (o Options) forEachApp(fn func(app string) error) error {
+	return o.forEachTask(len(o.Apps), func(i int) error {
+		return fn(o.Apps[i])
+	})
 }
 
 // sampleAt linearly interpolates an arbitrary cumulative field of the
@@ -165,33 +195,38 @@ func runStartup(opt Options, models []machine.Model) (*StartupCurves, error) {
 		Breakeven:  map[machine.Model]float64{},
 		perApp:     map[string]map[machine.Model]*vmm.Result{},
 	}
-	var mu sync.Mutex
-	err := opt.forEachApp(func(app string) error {
-		prog, err := workload.App(app, opt.Scale)
+	// The (app × model) grid runs on the bounded pool; each task writes
+	// its own flat slot, so no locking and no completion-order effects.
+	nm := len(models)
+	flat := make([]*vmm.Result, len(opt.Apps)*nm)
+	err := opt.forEachTask(len(flat), func(i int) error {
+		app, m := opt.Apps[i/nm], models[i%nm]
+		res, err := opt.runApp(opt.configFor(m), app, opt.LongInstrs)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s on %v: %w", app, m, err)
 		}
-		results := map[machine.Model]*vmm.Result{}
-		for _, m := range models {
-			res, err := machine.RunConfig(opt.configFor(m), prog, opt.LongInstrs)
-			if err != nil {
-				return fmt.Errorf("%s on %v: %w", app, m, err)
-			}
-			results[m] = res
-		}
-		mu.Lock()
-		out.perApp[app] = results
-		mu.Unlock()
+		flat[i] = res
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for ai, app := range opt.Apps {
+		results := make(map[machine.Model]*vmm.Result, nm)
+		for mi, m := range models {
+			results[m] = flat[ai*nm+mi]
+		}
+		out.perApp[app] = results
+	}
+
+	// All reductions below iterate opt.Apps in suite order (never the
+	// perApp map) so floating-point accumulation is deterministic and
+	// reports are byte-identical regardless of scheduling.
 
 	// Grid: up to the longest Ref run.
 	maxCycles := 0.0
-	for _, results := range out.perApp {
-		if ref, ok := results[machine.Ref]; ok && ref.Cycles > maxCycles {
+	for _, app := range opt.Apps {
+		if ref, ok := out.perApp[app][machine.Ref]; ok && ref.Cycles > maxCycles {
 			maxCycles = ref.Cycles
 		}
 	}
@@ -202,8 +237,8 @@ func runStartup(opt Options, models []machine.Model) (*StartupCurves, error) {
 
 	// Per-app reference steady IPC for normalization.
 	refSteady := map[string]float64{}
-	for app, results := range out.perApp {
-		if ref, ok := results[machine.Ref]; ok {
+	for _, app := range opt.Apps {
+		if ref, ok := out.perApp[app][machine.Ref]; ok {
 			refSteady[app] = metrics.SteadyIPC(ref.Samples, 0.5)
 		}
 	}
@@ -212,8 +247,8 @@ func runStartup(opt Options, models []machine.Model) (*StartupCurves, error) {
 		curve := make([]float64, len(out.Grid))
 		for gi, c := range out.Grid {
 			vals := make([]float64, 0, len(opt.Apps))
-			for app, results := range out.perApp {
-				res := results[m]
+			for _, app := range opt.Apps {
+				res := out.perApp[app][m]
 				rs := refSteady[app]
 				if res == nil || rs <= 0 {
 					continue
@@ -226,19 +261,18 @@ func runStartup(opt Options, models []machine.Model) (*StartupCurves, error) {
 
 		// Steady-state line and breakeven.
 		var steadies, bes []float64
-		for app, results := range out.perApp {
-			res := results[m]
+		for _, app := range opt.Apps {
+			res := out.perApp[app][m]
 			rs := refSteady[app]
 			if res == nil || rs <= 0 {
 				continue
 			}
 			steadies = append(steadies, metrics.SteadyIPC(res.Samples, 0.5)/rs)
 			if m != machine.Ref {
-				ref := results[machine.Ref]
+				ref := out.perApp[app][machine.Ref]
 				if be, ok := metrics.Breakeven(ref.Samples, res.Samples); ok {
 					bes = append(bes, be)
 				}
-				_ = app
 			}
 		}
 		out.SteadyNorm[m] = metrics.HarmonicMean(steadies)

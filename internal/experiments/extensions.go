@@ -52,7 +52,9 @@ func PersistentStartup(opt Options) (*PersistReport, error) {
 		}
 		cfg := opt.configFor(machine.VMSoft)
 
-		ref, err := machine.RunConfig(opt.configFor(machine.Ref), prog, opt.LongInstrs)
+		// The Ref run is shared with the startup-curve harnesses via
+		// the result cache.
+		ref, err := opt.runApp(opt.configFor(machine.Ref), app, opt.LongInstrs)
 		if err != nil {
 			return err
 		}

@@ -37,26 +37,25 @@ type ColdStartReport struct {
 // therefore the hardware assists) matter most.
 func ColdStart(opt Options) (*ColdStartReport, error) {
 	opt = opt.withDefaults()
-	prog, err := workload.Generate(workload.BootLike, opt.Scale)
-	if err != nil {
-		return nil, err
-	}
 	models := []machine.Model{machine.Ref, machine.VMSoft, machine.VMBE, machine.VMFE, machine.VMInterp}
 	rep := &ColdStartReport{Opt: opt, Models: models, Rows: map[machine.Model]ColdStartRow{}}
 
 	budget := opt.ShortInstrs
-	ref, err := machine.RunConfig(opt.configFor(machine.Ref), prog, budget)
+	results := make([]*vmm.Result, len(models))
+	err := opt.forEachTask(len(models), func(i int) error {
+		res, err := opt.runApp(opt.configFor(models[i]), workload.BootLike.Name, budget)
+		if err != nil {
+			return fmt.Errorf("%v: %w", models[i], err)
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, m := range models {
-		res := ref
-		if m != machine.Ref {
-			res, err = machine.RunConfig(opt.configFor(m), prog, budget)
-			if err != nil {
-				return nil, fmt.Errorf("%v: %w", m, err)
-			}
-		}
+	ref := results[0]
+	for i, m := range models {
+		res := results[i]
 		row := ColdStartRow{
 			Cycles:   res.Cycles,
 			Instrs:   res.Instrs,

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"codesignvm/internal/interp"
 	"codesignvm/internal/machine"
@@ -34,10 +33,13 @@ func Fig3(opt Options) (*Fig3Report, error) {
 		thr = opt.HotThreshold
 	}
 	rep := &Fig3Report{Opt: opt, HotThreshold: thr, PerApp: map[string]metrics.Histogram{}}
-	var mu sync.Mutex
-	var sumB [8]uint64
-	var sumDyn [8]float64
-	err := opt.forEachApp(func(app string) error {
+	type appProfile struct {
+		hist metrics.Histogram
+		hot  uint64
+	}
+	profiles := make([]appProfile, len(opt.Apps))
+	err := opt.forEachTask(len(opt.Apps), func(ai int) error {
+		app := opt.Apps[ai]
 		prog, err := workload.App(app, opt.Scale)
 		if err != nil {
 			return err
@@ -52,26 +54,30 @@ func Fig3(opt Options) (*Fig3Report, error) {
 				return fmt.Errorf("%s: %w", app, err)
 			}
 		}
-		h := metrics.BuildHistogram(counts)
 		hot := uint64(0)
 		for _, c := range counts {
 			if c >= rep.HotThreshold {
 				hot++
 			}
 		}
-		mu.Lock()
-		rep.PerApp[app] = h
-		rep.MBBT += float64(h.Total)
-		rep.MSBT += float64(hot)
-		for i := range sumB {
-			sumB[i] += h.Buckets[i]
-			sumDyn[i] += h.DynFrac[i]
-		}
-		mu.Unlock()
+		profiles[ai] = appProfile{hist: metrics.BuildHistogram(counts), hot: hot}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Reduce in suite order so the float sums are deterministic.
+	var sumB [8]uint64
+	var sumDyn [8]float64
+	for ai, app := range opt.Apps {
+		p := profiles[ai]
+		rep.PerApp[app] = p.hist
+		rep.MBBT += float64(p.hist.Total)
+		rep.MSBT += float64(p.hot)
+		for i := range sumB {
+			sumB[i] += p.hist.Buckets[i]
+			sumDyn[i] += p.hist.DynFrac[i]
+		}
 	}
 	n := float64(len(opt.Apps))
 	rep.MBBT /= n
@@ -158,34 +164,33 @@ func Fig9(opt Options) (*Fig9Report, error) {
 		Breakeven: map[string]map[machine.Model]float64{},
 		RefCycles: map[string]float64{},
 	}
-	var mu sync.Mutex
-	err := opt.forEachApp(func(app string) error {
-		prog, err := workload.App(app, opt.Scale)
+	// Grid over (app × {Ref, models...}); Ref shares the startup-curve
+	// harnesses' runs through the result cache.
+	all := append([]machine.Model{machine.Ref}, models...)
+	na := len(all)
+	flat := make([]*vmm.Result, len(opt.Apps)*na)
+	err := opt.forEachTask(len(flat), func(i int) error {
+		app, m := opt.Apps[i/na], all[i%na]
+		res, err := opt.runApp(opt.configFor(m), app, opt.LongInstrs)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s on %v: %w", app, m, err)
 		}
-		ref, err := machine.RunConfig(opt.configFor(machine.Ref), prog, opt.LongInstrs)
-		if err != nil {
-			return err
-		}
-		row := map[machine.Model]float64{}
-		for _, m := range models {
-			res, err := machine.RunConfig(opt.configFor(m), prog, opt.LongInstrs)
-			if err != nil {
-				return fmt.Errorf("%s on %v: %w", app, m, err)
-			}
-			if be, ok := metrics.Breakeven(ref.Samples, res.Samples); ok {
-				row[m] = be
-			}
-		}
-		mu.Lock()
-		rep.Breakeven[app] = row
-		rep.RefCycles[app] = ref.Cycles
-		mu.Unlock()
+		flat[i] = res
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for ai, app := range opt.Apps {
+		ref := flat[ai*na]
+		row := map[machine.Model]float64{}
+		for mi, m := range models {
+			if be, ok := metrics.Breakeven(ref.Samples, flat[ai*na+1+mi].Samples); ok {
+				row[m] = be
+			}
+		}
+		rep.Breakeven[app] = row
+		rep.RefCycles[app] = ref.Cycles
 	}
 	return rep, nil
 }
@@ -240,20 +245,28 @@ type Fig10Report struct {
 func Fig10(opt Options) (*Fig10Report, error) {
 	opt = opt.withDefaults()
 	rep := &Fig10Report{Opt: opt, PerApp: map[string]Fig10Row{}}
-	var mu sync.Mutex
-	err := opt.forEachApp(func(app string) error {
-		prog, err := workload.App(app, opt.Scale)
-		if err != nil {
-			return err
+	// Grid over (app × {VM.be, VM.soft}); rows and the average assemble
+	// after the barrier in suite order, keeping the float reduction
+	// deterministic.
+	flat := make([]*vmm.Result, 2*len(opt.Apps))
+	err := opt.forEachTask(len(flat), func(i int) error {
+		app, m := opt.Apps[i/2], machine.VMBE
+		if i%2 == 1 {
+			m = machine.VMSoft
 		}
-		be, err := machine.RunConfig(opt.configFor(machine.VMBE), prog, opt.ShortInstrs)
+		res, err := opt.runApp(opt.configFor(m), app, opt.ShortInstrs)
 		if err != nil {
-			return err
+			return fmt.Errorf("%s on %v: %w", app, m, err)
 		}
-		soft, err := machine.RunConfig(opt.configFor(machine.VMSoft), prog, opt.ShortInstrs)
-		if err != nil {
-			return err
-		}
+		flat[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(opt.Apps))
+	for ai, app := range opt.Apps {
+		be, soft := flat[2*ai], flat[2*ai+1]
 		row := Fig10Row{
 			BBTXlatePct:     100 * be.Cat[vmm.CatBBTXlate] / be.Cycles,
 			BBTEmuPct:       100 * be.Cat[vmm.CatBBTEmu] / be.Cycles,
@@ -266,16 +279,7 @@ func Fig10(opt Options) (*Fig10Report, error) {
 		if be.BBTX86Translated > 0 {
 			row.CyclesPerXlatedInst = be.Cat[vmm.CatBBTXlate] / float64(be.BBTX86Translated)
 		}
-		mu.Lock()
 		rep.PerApp[app] = row
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	n := float64(len(rep.PerApp))
-	for _, row := range rep.PerApp {
 		rep.Avg.BBTXlatePct += row.BBTXlatePct / n
 		rep.Avg.BBTEmuPct += row.BBTEmuPct / n
 		rep.Avg.SBTXlatePct += row.SBTXlatePct / n

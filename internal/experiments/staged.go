@@ -6,7 +6,6 @@ import (
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
 	"codesignvm/internal/vmm"
-	"codesignvm/internal/workload"
 )
 
 // Staged-translation strategy studies (future-work extensions following
@@ -51,31 +50,32 @@ func DeltaBBTSweep(opt Options, app string, deltas []float64) (*DeltaReport, err
 	if len(deltas) == 0 {
 		deltas = []float64{166, 83, 40, 20, 10, 5, 1}
 	}
-	prog, err := workload.App(app, opt.Scale)
-	if err != nil {
-		return nil, err
-	}
-	ref, err := machine.RunConfig(opt.configFor(machine.Ref), prog, opt.LongInstrs)
+	ref, err := opt.runApp(opt.configFor(machine.Ref), app, opt.LongInstrs)
 	if err != nil {
 		return nil, err
 	}
 	rep := &DeltaReport{Opt: opt, App: app, RefCycles: ref.Cycles}
-	for _, d := range deltas {
+	rep.Rows = make([]DeltaRow, len(deltas))
+	err = opt.forEachTask(len(deltas), func(i int) error {
 		cfg := opt.configFor(machine.VMSoft)
-		cfg.BBTCyclesPerInst = d
-		res, err := machine.RunConfig(cfg, prog, opt.LongInstrs)
+		cfg.BBTCyclesPerInst = deltas[i]
+		res, err := opt.runApp(cfg, app, opt.LongInstrs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := DeltaRow{
-			DeltaBBT: d,
+			DeltaBBT: deltas[i],
 			Cycles:   res.Cycles,
 			XlatePct: 100 * res.Cat[vmm.CatBBTXlate] / res.Cycles,
 		}
 		if be, ok := metrics.Breakeven(ref.Samples, res.Samples); ok {
 			row.Breakeven = be
 		}
-		rep.Rows = append(rep.Rows, row)
+		rep.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

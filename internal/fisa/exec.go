@@ -131,19 +131,23 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 
 		case UADD, USUB, UADC, USBB, UAND, UOR, UXOR, UMUL:
 			a, b := st.R[u.Src1], st.R[u.Src2]
-			res, fl := aluCompute(u.Op, a, b, st.Flags, u.W)
 			if u.SetF {
+				res, fl := aluCompute(u.Op, a, b, st.Flags, u.W)
 				st.Flags = fl
+				writeMerged(st, u.Dst, res, u.W)
+			} else {
+				writeMerged(st, u.Dst, aluValue(u.Op, a, b, st.Flags), u.W)
 			}
-			writeMerged(st, u.Dst, res, u.W)
 
 		case UADDI, USUBI, UANDI, UORI, UXORI:
 			a, b := st.R[u.Src1], uint32(u.Imm)
-			res, fl := aluCompute(immBase(u.Op), a, b, st.Flags, u.W)
 			if u.SetF {
+				res, fl := aluCompute(immBase(u.Op), a, b, st.Flags, u.W)
 				st.Flags = fl
+				writeMerged(st, u.Dst, res, u.W)
+			} else {
+				writeMerged(st, u.Dst, aluValue(immBase(u.Op), a, b, st.Flags), u.W)
 			}
-			writeMerged(st, u.Dst, res, u.W)
 
 		case USHL, USHLI, USHR, USHRI, USAR, USARI, UROL, UROLI, UROR, URORI:
 			a := st.R[u.Src1]
@@ -373,6 +377,39 @@ func immBase(op Op) Op {
 		return UXOR
 	}
 	return op
+}
+
+// aluValue computes just the result of aluCompute for flag-dead ALU
+// micro-ops (stack-pointer updates, address arithmetic). Sub-width
+// results need no masking here: writeMerged merges only the low bits,
+// and addition/subtraction/multiplication are congruent mod 2^width, so
+// the merged value matches aluCompute's masked result bit for bit.
+func aluValue(op Op, a, b uint32, old x86.Flags) uint32 {
+	switch op {
+	case UADD:
+		return a + b
+	case UADC:
+		if old.Test(x86.FlagCF) {
+			return a + b + 1
+		}
+		return a + b
+	case USUB:
+		return a - b
+	case USBB:
+		if old.Test(x86.FlagCF) {
+			return a - b - 1
+		}
+		return a - b
+	case UAND:
+		return a & b
+	case UOR:
+		return a | b
+	case UXOR:
+		return a ^ b
+	case UMUL:
+		return a * b
+	}
+	return 0
 }
 
 func aluCompute(op Op, a, b uint32, old x86.Flags, w uint8) (uint32, x86.Flags) {

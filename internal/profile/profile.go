@@ -28,11 +28,17 @@ type Detector interface {
 
 // Software is the embedded-counter detector. The VM keeps the per-block
 // counter in the translation itself; this type tracks the hot-crossing
-// bookkeeping and per-PC counts.
+// bookkeeping and per-PC counts. Each PC resolves to one heap entry so
+// the per-block-execution cost is a single map lookup, not one hash per
+// counter operation (RecordEntry runs on every dispatch of cold code).
 type Software struct {
 	Threshold uint64
-	counts    map[uint32]uint64
-	reported  map[uint32]bool
+	regions   map[uint32]*swRegion
+}
+
+type swRegion struct {
+	count    uint64
+	reported bool
 }
 
 // NewSoftware returns a software detector with the given hot threshold
@@ -40,29 +46,37 @@ type Software struct {
 func NewSoftware(threshold uint64) *Software {
 	return &Software{
 		Threshold: threshold,
-		counts:    make(map[uint32]uint64),
-		reported:  make(map[uint32]bool),
+		regions:   make(map[uint32]*swRegion),
 	}
 }
 
 // RecordEntry implements Detector.
 func (s *Software) RecordEntry(pc uint32, instrs int) bool {
-	s.counts[pc]++
-	if s.counts[pc] >= s.Threshold && !s.reported[pc] {
-		s.reported[pc] = true
+	r := s.regions[pc]
+	if r == nil {
+		r = &swRegion{}
+		s.regions[pc] = r
+	}
+	r.count++
+	if r.count >= s.Threshold && !r.reported {
+		r.reported = true
 		return true
 	}
 	return false
 }
 
 // Count implements Detector.
-func (s *Software) Count(pc uint32) uint64 { return s.counts[pc] }
+func (s *Software) Count(pc uint32) uint64 {
+	if r := s.regions[pc]; r != nil {
+		return r.count
+	}
+	return 0
+}
 
 // Reset forgets a region (used after code-cache flushes so re-translated
 // regions can become hot again).
 func (s *Software) Reset(pc uint32) {
-	delete(s.counts, pc)
-	delete(s.reported, pc)
+	delete(s.regions, pc)
 }
 
 // BBB is the Merten-style hardware branch behavior buffer: a
@@ -146,36 +160,38 @@ func (b *BBB) Reset(pc uint32) {
 
 // EdgeProfile records taken counts of control-flow edges between
 // architected basic blocks. The superblock translator uses it to follow
-// the dominant path when forming superblocks.
+// the dominant path when forming superblocks. Edges are keyed by a
+// packed (from,to) word so recording — which happens on every exit from
+// cold code — stays on the runtime's fast integer-map path.
 type EdgeProfile struct {
-	edges map[edgeKey]uint64
+	edges map[uint64]uint64
 }
 
-type edgeKey struct {
-	from, to uint32
+func edgeKey(from, to uint32) uint64 {
+	return uint64(from)<<32 | uint64(to)
 }
 
 // NewEdgeProfile returns an empty edge profile.
 func NewEdgeProfile() *EdgeProfile {
-	return &EdgeProfile{edges: make(map[edgeKey]uint64)}
+	return &EdgeProfile{edges: make(map[uint64]uint64)}
 }
 
 // Record adds one traversal of the edge from→to.
 func (p *EdgeProfile) Record(from, to uint32) {
-	p.edges[edgeKey{from, to}]++
+	p.edges[edgeKey(from, to)]++
 }
 
 // Count returns the traversal count of from→to.
 func (p *EdgeProfile) Count(from, to uint32) uint64 {
-	return p.edges[edgeKey{from, to}]
+	return p.edges[edgeKey(from, to)]
 }
 
 // Bias returns the fraction of traversals out of `from` (given the two
 // possible successors) that went to `to`. Returns 0.5 when nothing is
 // known.
 func (p *EdgeProfile) Bias(from, to, other uint32) float64 {
-	a := float64(p.edges[edgeKey{from, to}])
-	b := float64(p.edges[edgeKey{from, other}])
+	a := float64(p.edges[edgeKey(from, to)])
+	b := float64(p.edges[edgeKey(from, other)])
 	if a+b == 0 {
 		return 0.5
 	}

@@ -68,6 +68,7 @@ type Engine struct {
 
 	// Dataflow state (absolute cycles).
 	clock      float64 // issue-bandwidth frontier == machine time
+	invWidth   float64 // 1/Width, hoisted out of the per-entity issue step
 	regReady   [fisa.NumRegs]float64
 	flagReady  float64
 	ring       []float64 // retire times of the last Window entities
@@ -75,9 +76,13 @@ type Engine struct {
 	lastRetire float64
 
 	// Event queues filled during functional execution and consumed by
-	// the timing replay, in program order.
-	loadLat []float64 // full load-to-use latencies (incl. misses)
-	brPen   []float64 // misprediction bubbles per executed UBR (0 = hit)
+	// the timing replay, in program order. Consumption advances the head
+	// indices instead of re-slicing so the backing arrays are reused
+	// forever once warm (the hot loop does no allocation).
+	loadLat  []float64 // full load-to-use latencies (incl. misses)
+	brPen    []float64 // misprediction bubbles per executed UBR (0 = hit)
+	loadHead int
+	brHead   int
 }
 
 // NewEngine builds a timing engine with the Table 2 memory system.
@@ -86,10 +91,11 @@ func NewEngine(p Params) *Engine {
 		p.Window = DefaultParams.Window
 	}
 	return &Engine{
-		P:      p,
-		Caches: cache.Table2(),
-		Pred:   bpred.New(bpred.DefaultConfig),
-		ring:   make([]float64, p.Window),
+		P:        p,
+		Caches:   cache.Table2(),
+		Pred:     bpred.New(bpred.DefaultConfig),
+		ring:     make([]float64, p.Window),
+		invWidth: 1 / float64(p.Width),
 	}
 }
 
@@ -131,14 +137,45 @@ func (e *Engine) NoteBranch(penalty float64) {
 // per-instruction software costs plus its real cache misses).
 func (e *Engine) DrainQueues() float64 {
 	stall := 0.0
-	for _, l := range e.loadLat {
+	for _, l := range e.loadLat[e.loadHead:] {
 		if extra := l - float64(e.P.LoadLatency); extra > 0 {
 			stall += extra
 		}
 	}
 	e.loadLat = e.loadLat[:0]
 	e.brPen = e.brPen[:0]
+	e.loadHead = 0
+	e.brHead = 0
 	return stall
+}
+
+// popLoad consumes the next queued load latency, or the L1 latency when
+// the queue is empty (defensive; replays always match executions).
+func (e *Engine) popLoad() float64 {
+	if e.loadHead < len(e.loadLat) {
+		l := e.loadLat[e.loadHead]
+		e.loadHead++
+		if e.loadHead == len(e.loadLat) {
+			e.loadLat = e.loadLat[:0]
+			e.loadHead = 0
+		}
+		return l
+	}
+	return float64(e.P.LoadLatency)
+}
+
+// popBr consumes the next queued branch bubble (0 when none queued).
+func (e *Engine) popBr() float64 {
+	if e.brHead < len(e.brPen) {
+		p := e.brPen[e.brHead]
+		e.brHead++
+		if e.brHead == len(e.brPen) {
+			e.brPen = e.brPen[:0]
+			e.brHead = 0
+		}
+		return p
+	}
+	return 0
 }
 
 // issueEntity pushes one issue entity through the dataflow model.
@@ -164,7 +201,7 @@ func (e *Engine) issueEntity(srcMax, lat float64) float64 {
 	if e.ringIdx == len(e.ring) {
 		e.ringIdx = 0
 	}
-	e.clock = slot + 1/float64(e.P.Width)
+	e.clock = slot + e.invWidth
 	return complete
 }
 
@@ -172,6 +209,11 @@ func (e *Engine) issueEntity(srcMax, lat float64) float64 {
 // through the dataflow model, consuming the queued load latencies and
 // branch outcomes. The caller derives the executed (linear) ranges from
 // the functional execution.
+//
+// This is the reference replay, deriving entity shape (sources, fusion,
+// latencies) from the micro-ops on every call. ChargeBlock is the
+// equivalent fast path over the precomputed per-translation metadata;
+// the two must stay in lockstep (TestChargeBlockMatchesChargeRange).
 func (e *Engine) ChargeRange(uops []fisa.MicroOp, lo, hi int) {
 	var srcBuf [3]fisa.Reg
 	for i := lo; i <= hi && i < len(uops); i++ {
@@ -214,12 +256,7 @@ func (e *Engine) ChargeRange(uops []fisa.MicroOp, lo, hi int) {
 		}
 		consumeLoad := func(m *fisa.MicroOp) {
 			if m.IsLoad() {
-				if len(e.loadLat) > 0 {
-					lat = e.loadLat[0]
-					e.loadLat = e.loadLat[1:]
-				} else {
-					lat = float64(e.P.LoadLatency)
-				}
+				lat = e.popLoad()
 			}
 		}
 		consumeLoad(u)
@@ -244,11 +281,7 @@ func (e *Engine) ChargeRange(uops []fisa.MicroOp, lo, hi int) {
 
 		// Branch resolution bubbles.
 		if u.Op == fisa.UBR || (pair != nil && pair.Op == fisa.UBR) {
-			pen := 0.0
-			if len(e.brPen) > 0 {
-				pen = e.brPen[0]
-				e.brPen = e.brPen[1:]
-			}
+			pen := e.popBr()
 			if pen > 0 {
 				// Fetch resumes after the branch resolves plus the
 				// frontend refill.
@@ -263,6 +296,157 @@ func (e *Engine) ChargeRange(uops []fisa.MicroOp, lo, hi int) {
 			i++ // the tail was consumed with the head
 		}
 	}
+}
+
+// ChargeBlock replays t.Uops[lo..hi] (inclusive) like ChargeRange, but
+// walks the translation's precomputed entity metadata instead of
+// re-deriving sources, fusion and latencies per dynamic execution. It
+// does no allocation. Falls back to ChargeRange for translations that
+// were never analyzed.
+func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
+	uops := t.Uops
+	meta := t.Meta
+	if len(meta) != len(uops) {
+		e.ChargeRange(uops, lo, hi)
+		return
+	}
+	// The issue step (issueEntity) is open-coded here with the dataflow
+	// state held in locals: this loop is the simulator's single hottest
+	// path, and keeping clock/ring cursor/retire frontier in registers
+	// across the block is worth ~10% of total simulation time. The
+	// arithmetic is identical, operation for operation, to issueEntity;
+	// TestChargeBlockMatchesChargeRange pins the two together.
+	clock, lastRetire := e.clock, e.lastRetire
+	ring, ringIdx := e.ring, e.ringIdx
+	invWidth := e.invWidth
+	for i := lo; i <= hi && i < len(uops); {
+		m := &meta[i]
+		if m.Step == 2 && i+1 > hi {
+			// The range cuts a fused pair after its head: the head
+			// executes as a standalone entity (rare; mirrors the
+			// i+1 <= hi pairing guard of the reference replay).
+			sm := entityMeta(&uops[i], nil, e.P)
+			m = &sm
+		}
+
+		src := 0.0
+		for k := uint8(0); k < m.NSrc; k++ {
+			if r := e.regReady[m.Srcs[k]]; r > src {
+				src = r
+			}
+		}
+		if m.Bits&codecache.MetaReadsFlags != 0 && e.flagReady > src {
+			src = e.flagReady
+		}
+
+		lat := m.Lat
+		if m.Bits&codecache.MetaHasLoad != 0 {
+			lat = e.popLoad()
+		}
+
+		// issueEntity, inlined.
+		slot := clock
+		if w := ring[ringIdx]; w > slot {
+			slot = w
+		}
+		issue := slot
+		if src > issue {
+			issue = src
+		}
+		complete := issue + lat
+		retire := complete
+		if lastRetire > retire {
+			retire = lastRetire
+		}
+		lastRetire = retire
+		ring[ringIdx] = retire
+		ringIdx++
+		if ringIdx == len(ring) {
+			ringIdx = 0
+		}
+		clock = slot + invWidth
+
+		if m.Bits&codecache.MetaHasDst1 != 0 {
+			e.regReady[m.Dst1] = complete
+		}
+		if m.Bits&codecache.MetaHasDst2 != 0 {
+			e.regReady[m.Dst2] = complete
+		}
+		if m.Bits&codecache.MetaWritesFlags != 0 {
+			e.flagReady = complete
+		}
+
+		if m.Bits&codecache.MetaIsBranch != 0 {
+			if pen := e.popBr(); pen > 0 {
+				resume := complete + pen
+				if resume > clock {
+					clock = resume
+				}
+			}
+		}
+
+		i += int(m.Step)
+	}
+	e.clock, e.lastRetire, e.ringIdx = clock, lastRetire, ringIdx
+}
+
+// entityMeta computes the issue-entity shape for the micro-op u (paired
+// with pair when non-nil) under parameters p. It encodes exactly the
+// per-entity work of ChargeRange: filtered sources, flag behaviour,
+// base latency, load/branch event consumption and destinations.
+func entityMeta(u, pair *fisa.MicroOp, p Params) codecache.UopMeta {
+	var m codecache.UopMeta
+	m.Step = 1
+	var srcBuf [3]fisa.Reg
+	add := func(mo *fisa.MicroOp) {
+		for _, s := range mo.Sources(srcBuf[:0]) {
+			if pair != nil && mo == pair && u.HasDst() && s == u.Dst {
+				continue // collapsed intra-pair dependence
+			}
+			m.Srcs[m.NSrc] = s
+			m.NSrc++
+		}
+		fe := readsWritesFlags(mo)
+		if fe.reads {
+			m.Bits |= codecache.MetaReadsFlags
+		}
+		if fe.writes {
+			m.Bits |= codecache.MetaWritesFlags
+		}
+	}
+	add(u)
+	if pair != nil {
+		m.Step = 2
+		add(pair)
+	}
+
+	lat := 1.0
+	if pair != nil {
+		lat = float64(p.PairLatency)
+	}
+	switch {
+	case u.Op == fisa.UMUL || u.Op == fisa.UMULHU || u.Op == fisa.UMULHS:
+		lat = float64(p.MulLatency)
+	case u.Op == fisa.UDIVQ || u.Op == fisa.UDIVR || u.Op == fisa.UIDIVQ || u.Op == fisa.UIDIVR:
+		lat = float64(p.DivLatency)
+	}
+	m.Lat = lat
+
+	if u.IsLoad() || (pair != nil && pair.IsLoad()) {
+		m.Bits |= codecache.MetaHasLoad
+	}
+	if u.HasDst() {
+		m.Bits |= codecache.MetaHasDst1
+		m.Dst1 = u.Dst
+	}
+	if pair != nil && pair.HasDst() {
+		m.Bits |= codecache.MetaHasDst2
+		m.Dst2 = pair.Dst
+	}
+	if u.Op == fisa.UBR || (pair != nil && pair.Op == fisa.UBR) {
+		m.Bits |= codecache.MetaIsBranch
+	}
+	return m
 }
 
 // Serialize models a full pipeline drain: issue stops until everything
@@ -348,6 +532,23 @@ func AnalyzeWith(t *codecache.Translation, p Params) {
 			apply(pair)
 			i++
 		}
+	}
+
+	// Fill the per-micro-op entity metadata consumed by ChargeBlock.
+	// Every index gets an entry — pair tails too, describing the tail as
+	// a standalone entity, which is what a replay entering mid-pair runs.
+	if cap(t.Meta) >= len(uops) {
+		t.Meta = t.Meta[:len(uops)]
+	} else {
+		t.Meta = make([]codecache.UopMeta, len(uops))
+	}
+	for i := range uops {
+		u := &uops[i]
+		var pair *fisa.MicroOp
+		if u.Fused && i+1 < len(uops) {
+			pair = &uops[i+1]
+		}
+		t.Meta[i] = entityMeta(u, pair, p)
 	}
 
 	t.Entities = entities

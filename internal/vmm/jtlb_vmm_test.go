@@ -1,0 +1,218 @@
+package vmm
+
+import (
+	"fmt"
+	"testing"
+
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/x86"
+)
+
+// newTestVM builds a VM over a generated program without running it.
+func newTestVM(strat Strategy, seed int64) (*VM, []byte) {
+	code := buildProgram(seed)
+	cfg := DefaultConfig(strat)
+	cfg.HotThreshold = 12
+	return New(cfg, freshMemory(code, seed), initState()), code
+}
+
+func TestJTLBHitRespectsInvalid(t *testing.T) {
+	vm, _ := newTestVM(StratSoft, 1)
+	tr := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: 0x1234, Size: 16}
+	if _, err := vm.bbtCache.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	vm.jtlb.Insert(tr.EntryPC, tr)
+	vm.pc = tr.EntryPC
+	if !vm.jtlbValid(tr) {
+		t.Fatal("fresh BBT entry should be dispatchable")
+	}
+	tr.Invalid = true // superseded by a superblock
+	if vm.jtlbValid(tr) {
+		t.Fatal("invalidated translation passed JTLB validation")
+	}
+}
+
+func TestJTLBHitRespectsEpochFlush(t *testing.T) {
+	vm, _ := newTestVM(StratSoft, 1)
+	bbtT := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: 0x2000, Size: 16}
+	sbtT := &codecache.Translation{Kind: codecache.KindSBT, EntryPC: 0x3000, Size: 16}
+	if _, err := vm.bbtCache.Insert(bbtT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.sbtCache.Insert(sbtT); err != nil {
+		t.Fatal(err)
+	}
+	vm.jtlb.Insert(bbtT.EntryPC, bbtT)
+	vm.jtlb.Insert(sbtT.EntryPC, sbtT)
+
+	vm.pc = bbtT.EntryPC
+	if !vm.jtlbValid(bbtT) {
+		t.Fatal("BBT entry should validate before flush")
+	}
+	vm.bbtCache.Flush()
+	if vm.jtlbValid(bbtT) {
+		t.Fatal("BBT entry survived its cache flush")
+	}
+
+	vm.pc = sbtT.EntryPC
+	if !vm.jtlbValid(sbtT) {
+		t.Fatal("SBT entry should validate before flush")
+	}
+	vm.sbtCache.Flush()
+	if vm.jtlbValid(sbtT) {
+		t.Fatal("SBT entry survived its cache flush")
+	}
+}
+
+func TestJTLBStaged3PromotionNotBypassed(t *testing.T) {
+	vm, _ := newTestVM(StratStaged3, 1)
+	sh := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: 0x4000, Shadow: true}
+	vm.shadow.put(sh.EntryPC, sh)
+	vm.jtlb.Insert(sh.EntryPC, sh)
+	vm.pc = sh.EntryPC
+	sh.ExecCount = uint64(vm.Cfg.InterpToBBT) - 1
+	if !vm.jtlbValid(sh) {
+		t.Fatal("cold interpreted block should be dispatchable from the JTLB")
+	}
+	sh.ExecCount = uint64(vm.Cfg.InterpToBBT)
+	if vm.jtlbValid(sh) {
+		t.Fatal("block due for BBT promotion must take the slow path")
+	}
+}
+
+func TestJTLBShadowResidencyRequired(t *testing.T) {
+	vm, _ := newTestVM(StratRef, 1)
+	sh := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: 0x5000, Shadow: true}
+	vm.shadow.put(sh.EntryPC, sh)
+	vm.jtlb.Insert(sh.EntryPC, sh)
+	vm.pc = sh.EntryPC
+	if !vm.jtlbValid(sh) {
+		t.Fatal("resident shadow block should validate")
+	}
+	vm.shadow.remove(sh.EntryPC)
+	if vm.jtlbValid(sh) {
+		t.Fatal("evicted shadow block passed JTLB validation")
+	}
+}
+
+// TestJTLBNeverShadowsSuperblock runs strategies end-to-end and checks
+// the supersession invariant: wherever a current-epoch superblock
+// exists, no still-valid BBT or shadow entry for the same PC may
+// survive in the JTLB (a stale hit would dispatch the unoptimized
+// block and diverge from the map-lookup dispatch policy).
+func TestJTLBNeverShadowsSuperblock(t *testing.T) {
+	for _, strat := range []Strategy{StratSoft, StratBE, StratInterp, StratStaged3} {
+		for seed := int64(1); seed <= 4; seed++ {
+			vm, _ := newTestVM(strat, seed)
+			res, err := vm.Run(2_000_000)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", strat, seed, err)
+			}
+			if res.SBTTranslations == 0 {
+				t.Fatalf("%v seed %d: no superblocks formed", strat, seed)
+			}
+			bbtC, sbtC := vm.Caches()
+			sbtC.ForEach(func(s *codecache.Translation) {
+				if s.Epoch != sbtC.Epoch() {
+					return
+				}
+				e := vm.jtlb.Lookup(s.EntryPC)
+				if e == nil || e == s {
+					return
+				}
+				if e.Shadow {
+					vm.pc = s.EntryPC
+					if vm.jtlbValid(e) {
+						t.Errorf("%v seed %d: shadow JTLB entry still dispatchable over SBT at %#x",
+							strat, seed, s.EntryPC)
+					}
+					return
+				}
+				if e.Kind == codecache.KindBBT && !e.Invalid && e.Epoch == bbtC.Epoch() {
+					t.Errorf("%v seed %d: valid BBT JTLB entry shadows SBT at %#x",
+						strat, seed, s.EntryPC)
+				}
+			})
+			if res.JTLBHits == 0 {
+				t.Errorf("%v seed %d: JTLB never hit", strat, seed)
+			}
+		}
+	}
+}
+
+// TestShadowTableBounded forces eviction with a tiny cap and checks the
+// run stays exactly correct (differential vs the golden interpreter).
+func TestShadowTableBounded(t *testing.T) {
+	for _, strat := range []Strategy{StratRef, StratInterp} {
+		evictions := uint64(0)
+		for seed := int64(1); seed <= 4; seed++ {
+			code := buildProgram(seed)
+			goldenSt, goldenMem, goldenN := goldenRun(t, code, seed, 5_000_000)
+
+			cfg := DefaultConfig(strat)
+			cfg.HotThreshold = 12
+			cfg.ShadowCap = 8
+			mem := freshMemory(code, seed)
+			vm := New(cfg, mem, initState())
+			res, err := vm.Run(goldenN + 1000)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", strat, seed, err)
+			}
+			if !res.Halted || res.Instrs != goldenN {
+				t.Fatalf("%v seed %d: instrs %d want %d halted=%v",
+					strat, seed, res.Instrs, goldenN, res.Halted)
+			}
+			var final x86.State
+			vm.nst.StoreArch(&final)
+			final.EIP = goldenSt.EIP
+			if !final.Equal(goldenSt) {
+				t.Errorf("%v seed %d: state diverged under shadow eviction", strat, seed)
+			}
+			compareMemories(t, fmt.Sprintf("shadow-cap %v seed %d", strat, seed), goldenMem, mem)
+			evictions += res.ShadowEvictions
+			if vm.shadow.len() > 8 {
+				t.Errorf("%v seed %d: %d resident shadow blocks exceed cap", strat, seed, vm.shadow.len())
+			}
+		}
+		if evictions == 0 {
+			t.Errorf("%v: cap 8 never evicted across any seed", strat)
+		}
+	}
+}
+
+func TestShadowTableClock(t *testing.T) {
+	s := newShadowTable(2)
+	mk := func(pc uint32) *codecache.Translation {
+		return &codecache.Translation{EntryPC: pc, Shadow: true}
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	s.put(1, a)
+	s.put(2, b)
+	if s.len() != 2 {
+		t.Fatalf("len = %d", s.len())
+	}
+	// Touch a so the clock's second chance spares it and evicts b.
+	s.get(1)
+	// Both entries were inserted with ref=true; the sweep clears a and b,
+	// then the get above re-marks a... re-touch to make the order
+	// deterministic: clear all refs by one failed sweep is internal, so
+	// simply verify: inserting c evicts *some* entry and len stays at 2.
+	epc, evicted := s.put(3, c)
+	if !evicted {
+		t.Fatal("insert at capacity did not evict")
+	}
+	if s.len() != 2 {
+		t.Fatalf("len after eviction = %d", s.len())
+	}
+	if s.get(epc) != nil {
+		t.Fatal("evicted pc still resident")
+	}
+	if s.get(3) != c {
+		t.Fatal("newly inserted block not resident")
+	}
+	// The evicted entry must be one of the two old ones.
+	if epc != 1 && epc != 2 {
+		t.Fatalf("evicted unexpected pc %d", epc)
+	}
+}

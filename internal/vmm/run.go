@@ -28,7 +28,8 @@ type VM struct {
 
 	bbtCache *codecache.Cache
 	sbtCache *codecache.Cache
-	shadow   map[uint32]*codecache.Translation
+	shadow   *shadowTable
+	jtlb     *codecache.JTLB
 	det      detector
 	edges    *profile.EdgeProfile
 	xlt      *hwassist.XLTUnit
@@ -59,7 +60,8 @@ func New(cfg Config, mem *x86.Memory, init *x86.State) *VM {
 		eng:      timing.NewEngine(cfg.Timing),
 		bbtCache: codecache.New("bbt", bbtCacheBase, cfg.BBTCacheSize),
 		sbtCache: codecache.New("sbt", sbtCacheBase, cfg.SBTCacheSize),
-		shadow:   make(map[uint32]*codecache.Translation),
+		shadow:   newShadowTable(cfg.ShadowCap),
+		jtlb:     codecache.NewJTLB(cfg.JTLBEntries),
 		det:      newDetector(&cfg),
 		edges:    profile.NewEdgeProfile(),
 		xlt:      hwassist.NewXLTUnit(),
@@ -207,20 +209,32 @@ func (v *VM) dispatch() (*codecache.Translation, Category, error) {
 
 	dispatchCost := false
 	if t == nil {
-		// Lookup: optimized code first.
-		if cfg.Strategy.UsesSBT() {
-			if s := v.sbtCache.Lookup(v.pc); s != nil {
-				t = s
-			}
-		}
-		if t == nil {
-			var err error
-			t, err = v.coldUnit()
-			if err != nil {
-				return nil, 0, err
-			}
-		}
 		dispatchCost = true
+		// Software jump-TLB: a direct-mapped array fronting the map
+		// lookups of both code caches and the shadow table. It is a
+		// host-side accelerator for the simulator itself — a hit pays
+		// exactly the simulated dispatch cost a map hit would, so
+		// simulated timing is unchanged; only host work is saved.
+		if c := v.jtlb.Lookup(v.pc); c != nil && v.jtlbValid(c) {
+			t = c
+			v.res.JTLBHits++
+		} else {
+			v.res.JTLBMisses++
+			// Lookup: optimized code first.
+			if cfg.Strategy.UsesSBT() {
+				if s := v.sbtCache.Lookup(v.pc); s != nil {
+					t = s
+				}
+			}
+			if t == nil {
+				var err error
+				t, err = v.coldUnit()
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+			v.jtlb.Insert(v.pc, t)
+		}
 		// Chain the previous direct exit to the found translation.
 		if v.prevT != nil && !v.prevT.Shadow && !t.Shadow {
 			e := &v.prevT.Exits[v.prevExit]
@@ -289,6 +303,36 @@ func (v *VM) cacheOf(t *codecache.Translation) *codecache.Cache {
 	return v.bbtCache
 }
 
+// jtlbValid reports whether a jump-TLB hit for v.pc may be dispatched.
+// A stale entry must never execute: superseded translations (Invalid),
+// flushed cache epochs, evicted shadow blocks and interpreted blocks
+// due for BBT promotion all force the slow path, which re-resolves and
+// refills the entry.
+func (v *VM) jtlbValid(c *codecache.Translation) bool {
+	if c.Invalid {
+		return false
+	}
+	if c.Shadow {
+		if v.Cfg.Strategy == StratStaged3 && c.ExecCount >= uint64(v.Cfg.InterpToBBT) {
+			return false // must promote to BBT via the slow path
+		}
+		return v.shadow.get(v.pc) == c // validates residency, touches the clock bit
+	}
+	if c.Kind == codecache.KindSBT {
+		return c.Epoch == v.sbtCache.Epoch()
+	}
+	return c.Epoch == v.bbtCache.Epoch()
+}
+
+// shadowPut registers a shadow block, counting clock evictions and
+// shooting down the jump-TLB entry of any victim.
+func (v *VM) shadowPut(pc uint32, t *codecache.Translation) {
+	if epc, evicted := v.shadow.put(pc, t); evicted {
+		v.res.ShadowEvictions++
+		v.jtlb.Evict(epc)
+	}
+}
+
 // coldUnit produces the execution unit for untranslated code at v.pc
 // according to the strategy.
 func (v *VM) coldUnit() (*codecache.Translation, error) {
@@ -298,7 +342,7 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 		// x86-mode / interpretation: the "translation" is a shadow block
 		// representing what the hardware decoders (or the interpreter's
 		// dispatch loop) process; building it costs nothing.
-		if t := v.shadow[v.pc]; t != nil {
+		if t := v.shadow.get(v.pc); t != nil {
 			return t, nil
 		}
 		t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
@@ -307,7 +351,7 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 		}
 		t.Shadow = true
 		timing.AnalyzeWith(t, cfg.Timing)
-		v.shadow[v.pc] = t
+		v.shadowPut(v.pc, t)
 		return t, nil
 
 	case StratSoft, StratBE:
@@ -322,11 +366,11 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 		}
 		// Interpret first-touch code; promote to BBT once the block has
 		// re-executed enough to repay translation.
-		if t := v.shadow[v.pc]; t != nil {
+		if t := v.shadow.get(v.pc); t != nil {
 			if t.ExecCount < uint64(cfg.InterpToBBT) {
 				return t, nil
 			}
-			delete(v.shadow, v.pc)
+			v.shadow.remove(v.pc)
 			return v.translateBBT()
 		}
 		t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
@@ -335,7 +379,7 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 		}
 		t.Shadow = true
 		timing.AnalyzeWith(t, cfg.Timing)
-		v.shadow[v.pc] = t
+		v.shadowPut(v.pc, t)
 		return t, nil
 	}
 	return nil, fmt.Errorf("vmm: unknown strategy %v", cfg.Strategy)
@@ -420,6 +464,9 @@ func (v *VM) formSuperblock(pc uint32) error {
 		old.Invalid = true
 		v.invalidated = append(v.invalidated, old)
 	}
+	// Supersede the jump-TLB mapping: the next dispatch of pc must land
+	// in the superblock, never a stale BBT or shadow entry.
+	v.jtlb.Insert(pc, t)
 	v.res.SBTTranslations++
 	v.res.SBTX86Translated += uint64(t.NumX86)
 	return nil
@@ -485,10 +532,10 @@ func (v *VM) execute(t *codecache.Translation, cat Category) error {
 		if cat == CatInterp {
 			v.eng.AdvanceClock(cfg.InterpCyclesPerInst*float64(st.Boundaries) + v.eng.DrainQueues())
 		} else if st.TakenBranchIdx >= 0 {
-			v.eng.ChargeRange(t.Uops, start, st.TakenBranchIdx)
-			v.eng.ChargeRange(t.Uops, idx, idx)
+			v.eng.ChargeBlock(t, start, st.TakenBranchIdx)
+			v.eng.ChargeBlock(t, idx, idx)
 		} else {
-			v.eng.ChargeRange(t.Uops, start, idx)
+			v.eng.ChargeBlock(t, start, idx)
 		}
 
 		if kind == fisa.StopCallout {

@@ -134,6 +134,18 @@ type Config struct {
 	// BBBEntries sizes the hardware branch behavior buffer (VM.fe).
 	BBBEntries int
 
+	// JTLBEntries sizes the software jump-TLB fronting the dispatch
+	// lookups (a host-side accelerator mirroring VM.fe's hardware
+	// jump-TLB; it does not change simulated timing). <= 0 selects the
+	// default size.
+	JTLBEntries int
+
+	// ShadowCap bounds the number of live shadow blocks (x86-mode /
+	// interpreter decode state). At the cap, a clock (second-chance)
+	// policy evicts a cold block; evictions are counted in Result.
+	// <= 0 selects the default cap.
+	ShadowCap int
+
 	// Sampling of the startup curves: geometric spacing factor for
 	// cycle-indexed samples.
 	SampleGrowth float64
@@ -161,6 +173,8 @@ func DefaultConfig(s Strategy) Config {
 		BBT:                  bbt.DefaultConfig,
 		SBT:                  sbt.DefaultConfig,
 		BBBEntries:           4096,
+		JTLBEntries:          DefaultJTLBEntries,
+		ShadowCap:            DefaultShadowCap,
 		SampleGrowth:         1.25,
 	}
 	cfg.InterpToBBT = 4
@@ -213,6 +227,14 @@ type Result struct {
 
 	// Complex-instruction callouts executed.
 	Callouts uint64
+
+	// Software jump-TLB behaviour on the dispatch slow path (host-side
+	// accelerator statistics; hits and misses pay identical simulated
+	// dispatch cost).
+	JTLBHits, JTLBMisses uint64
+
+	// Shadow blocks evicted by the bounded shadow table.
+	ShadowEvictions uint64
 
 	// Hotspot coverage: x86 instructions retired from SBT code.
 	SBTInstrs uint64

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// BenchmarkWorkloadApp contrasts cold generation with the memoized
+// path the experiment harnesses take.
+func BenchmarkWorkloadApp(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := GenerateApp("Word", 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		if _, err := App("Word", 25); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := App("Word", 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestAppMemoized(t *testing.T) {
+	a, err := App("Winzip", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := App("Winzip", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("App did not memoize identical (name, scale)")
+	}
+	c, err := App("Winzip", 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different scales shared one cache slot")
+	}
+	if _, err := App("NoSuchApp", 50); err == nil {
+		t.Error("unknown app did not error")
+	}
+}
+
+func TestAppConcurrent(t *testing.T) {
+	const workers = 16
+	progs := make([]*Program, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := App("Excel", 77)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent App calls produced distinct programs")
+		}
+	}
+}

@@ -24,6 +24,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"codesignvm/internal/x86"
 )
@@ -176,8 +177,44 @@ func Generate(params Params, scale int) (*Program, error) {
 	}, nil
 }
 
-// App generates a named application at the given scale.
+// appKey identifies one memoized program build.
+type appKey struct {
+	name  string
+	scale int
+}
+
+// appEntry is a once-guarded cache slot so concurrent callers of the
+// same (name, scale) generate the program exactly once and the rest
+// block until it is ready.
+type appEntry struct {
+	once sync.Once
+	prog *Program
+	err  error
+}
+
+var appCache sync.Map // appKey -> *appEntry
+
+// App returns the named application at the given scale, memoized:
+// programs are deterministic per (name, scale) and immutable once
+// built (Memory() hands every caller a fresh address space), so the
+// ~14 experiment harnesses share one generation instead of each
+// rebuilding identical code. Safe for concurrent use.
 func App(name string, scale int) (*Program, error) {
+	if scale < 1 {
+		scale = 1 // match Generate's clamp so keys do not split
+	}
+	e, _ := appCache.LoadOrStore(appKey{name, scale}, new(appEntry))
+	entry := e.(*appEntry)
+	entry.once.Do(func() {
+		entry.prog, entry.err = GenerateApp(name, scale)
+	})
+	return entry.prog, entry.err
+}
+
+// GenerateApp builds a named application at the given scale without
+// consulting or filling the memoization cache (used by cold-path
+// benchmarks and anyone who wants a private Program).
+func GenerateApp(name string, scale int) (*Program, error) {
 	p, err := ByName(name)
 	if err != nil {
 		return nil, err

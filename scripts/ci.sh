@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate: vet, build, and the full test suite under the race
+# detector (the experiment grid and the run/workload caches are
+# concurrent by default).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...

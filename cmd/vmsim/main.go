@@ -41,7 +41,9 @@ var (
 	appFlag    = flag.String("app", "Word", "benchmark for -exp run")
 	instrsFlag = flag.Uint64("instrs", 0, "instruction budget (default 500M/scale)")
 	seqFlag    = flag.Bool("seq", false, "run the experiment grid sequentially")
-	freshFlag  = flag.Bool("fresh", false, "disable the cross-experiment simulation-result cache")
+	pipeFlag   = flag.Bool("pipeline", true, "decouple functional execution and timing onto two goroutines per run (identical reports, faster wall-clock)")
+	freshFlag  = flag.Bool("fresh", false, "disable the simulation-result caches (in-process memoization and -store reads)")
+	storeFlag  = flag.String("store", "", "directory for the persistent cross-process run store (empty: disabled)")
 
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -122,7 +124,13 @@ func startProfiling() (stop func(), err error) {
 }
 
 func options() codesignvm.Options {
-	opt := codesignvm.Options{Scale: *scaleFlag, Sequential: *seqFlag, FreshRuns: *freshFlag}
+	opt := codesignvm.Options{
+		Scale:      *scaleFlag,
+		Sequential: *seqFlag,
+		NoPipeline: !*pipeFlag,
+		FreshRuns:  *freshFlag,
+		Store:      *storeFlag,
+	}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
 	}
@@ -285,8 +293,10 @@ func runSingle(opt codesignvm.Options) error {
 		budget = 500_000_000 / uint64(*scaleFlag)
 	}
 	fmt.Printf("%s on %v: %d static instrs, budget %d\n", *appFlag, m, prog.StaticInstrs, budget)
+	cfg := codesignvm.DefaultConfig(m)
+	cfg.Pipeline = *pipeFlag
 	start := time.Now()
-	res, err := codesignvm.Run(m, prog, budget)
+	res, err := codesignvm.RunConfig(cfg, prog, budget)
 	if err != nil {
 		return err
 	}

@@ -39,6 +39,13 @@ func Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, 
 		cfg.MaxInsts = DefaultConfig.MaxInsts
 	}
 	t := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: pc}
+	// Preallocate for the common block shape (a handful of instructions
+	// at 2-4 micro-ops each, one or two exits): the append chains in the
+	// crack loop and the terminator then run allocation-free, leaving
+	// three allocations per translation (the Translation itself and the
+	// two backing arrays). Oversized blocks fall back to append growth.
+	t.Uops = make([]fisa.MicroOp, 0, 48)
+	t.Exits = make([]codecache.Exit, 0, 2)
 	cur := pc
 	defer func() { t.X86Bytes = int(cur - pc) }()
 

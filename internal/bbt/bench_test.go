@@ -28,6 +28,18 @@ func BenchmarkBBTTranslate(b *testing.B) {
 	mem := x86.NewMemory()
 	mem.WriteBytes(base, code)
 
+	// The translator preallocates its micro-op and exit arrays, so a
+	// common-shape block costs exactly three allocations: the
+	// Translation struct and the two backing arrays. Guard the budget
+	// so regressions fail loudly instead of shifting the reported rate.
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Translate(mem, base, DefaultConfig); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs > 3 {
+		b.Fatalf("Translate allocates %.0f objects per block, budget is 3", allocs)
+	}
+
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

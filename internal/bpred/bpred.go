@@ -77,15 +77,15 @@ func (p *Predictor) phtIndex(pc uint32) uint32 {
 // hardware would have mispredicted it.
 func (p *Predictor) Cond(pc uint32, taken bool) (mispredict bool) {
 	idx := p.phtIndex(pc)
-	pred := p.pht[idx] >= 2
-	mispredict = pred != taken
+	ctr := p.pht[idx]
+	mispredict = (ctr >= 2) != taken
 	// Update counter and history.
 	if taken {
-		if p.pht[idx] < 3 {
-			p.pht[idx]++
+		if ctr < 3 {
+			p.pht[idx] = ctr + 1
 		}
-	} else if p.pht[idx] > 0 {
-		p.pht[idx]--
+	} else if ctr > 0 {
+		p.pht[idx] = ctr - 1
 	}
 	p.history = (p.history << 1) & p.histMask
 	if taken {

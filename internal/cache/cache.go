@@ -4,6 +4,13 @@
 // and write-allocate. The simulator returns, per access, the latency
 // added beyond the L1 pipeline latency, which the timing model folds
 // into block execution time.
+//
+// Concurrency: a Hierarchy has no internal locking and its access
+// order determines its LRU state, so each instance is owned by exactly
+// one goroutine. Under the decoupled execute/timing pipeline that
+// owner is the timing consumer, which replays the producer's memory
+// trace in execution order — the hierarchy therefore observes the same
+// access sequence as a sequential run and reaches the same state.
 package cache
 
 import "fmt"
@@ -31,9 +38,13 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// line is one cache line. key packs the tag with a validity bit in bit
+// 0 (key = tag<<1 | 1), so the hit loop — the memory system's hottest
+// path — is a single word compare per way; the zero value (key 0, an
+// even number) can never match. Line sizes are at least 2 bytes, so a
+// 31-bit tag always fits.
 type line struct {
-	tag   uint32
-	valid bool
+	key   uint32
 	dirty bool
 	used  uint64 // LRU timestamp
 }
@@ -52,7 +63,9 @@ type Cache struct {
 
 // New builds a cache level from its configuration.
 func New(cfg Config) *Cache {
-	if cfg.Line <= 0 || cfg.Ways <= 0 || cfg.Size <= 0 {
+	if cfg.Line < 2 || cfg.Line&(cfg.Line-1) != 0 || cfg.Ways <= 0 || cfg.Size <= 0 {
+		// The index math shifts by log2(Line), which a non-power-of-two
+		// line size would silently corrupt.
 		panic(fmt.Sprintf("cache: bad config %+v", cfg))
 	}
 	nSets := cfg.Size / (cfg.Line * cfg.Ways)
@@ -91,11 +104,12 @@ func (c *Cache) Flush() {
 func (c *Cache) Access(addr uint32, write bool) (hit, wroteBack bool) {
 	c.tick++
 	c.stats.Accesses++
-	set := (addr >> c.setShift) & c.setMask
 	tag := addr >> c.setShift
-	lines := c.lines[set*c.ways : (set+1)*c.ways]
+	key := tag<<1 | 1
+	base := (tag & c.setMask) * c.ways
+	lines := c.lines[base : base+c.ways]
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == key {
 			lines[i].used = c.tick
 			if write {
 				lines[i].dirty = true
@@ -107,7 +121,7 @@ func (c *Cache) Access(addr uint32, write bool) (hit, wroteBack bool) {
 	c.stats.Misses++
 	victim := 0
 	for i := 1; i < len(lines); i++ {
-		if !lines[i].valid {
+		if lines[i].key == 0 {
 			victim = i
 			break
 		}
@@ -115,11 +129,11 @@ func (c *Cache) Access(addr uint32, write bool) (hit, wroteBack bool) {
 			victim = i
 		}
 	}
-	wroteBack = lines[victim].valid && lines[victim].dirty
+	wroteBack = lines[victim].key != 0 && lines[victim].dirty
 	if wroteBack {
 		c.stats.Writebacks++
 	}
-	lines[victim] = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	lines[victim] = line{key: key, dirty: write, used: c.tick}
 	return false, wroteBack
 }
 

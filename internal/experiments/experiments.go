@@ -36,11 +36,22 @@ type Options struct {
 	// inline on the calling goroutine. Reports are byte-identical
 	// either way; parallelism only changes wall-clock time.
 	Sequential bool
+	// NoPipeline disables the per-run execute/timing pipeline: each
+	// simulation runs single-goroutine (the reference mode). Reports
+	// are byte-identical either way (vmm.Config.Pipeline); pipelining
+	// only changes wall-clock time.
+	NoPipeline bool
 	// FreshRuns bypasses the process-wide simulation-result cache
 	// (the per-(config, app, scale, budget) memoization), forcing
 	// every run to simulate. Used by benchmarks measuring simulation
-	// speed.
+	// speed. It also skips disk-store reads (but not writes; see
+	// Store).
 	FreshRuns bool
+	// Store names a directory for the persistent cross-process run
+	// store: finished runs are written there and future runs (in this
+	// or any other process) with the same content hash are loaded
+	// instead of simulated. Empty disables persistence.
+	Store string
 	// HotThreshold overrides the Eq. 2 hot threshold (0 keeps the model
 	// default: 8000 for BBT-based schemes, 25 for interpretation). The
 	// interpreted-mode threshold is scaled proportionally. Used for
@@ -52,6 +63,7 @@ type Options struct {
 // options.
 func (o Options) configFor(m machine.Model) vmm.Config {
 	cfg := machine.Config(m)
+	cfg.Pipeline = !o.NoPipeline
 	if o.HotThreshold > 0 {
 		if cfg.Strategy == vmm.StratInterp {
 			t := o.HotThreshold * 25 / 8000
@@ -89,6 +101,12 @@ func (o Options) withDefaults() Options {
 // append in completion order — to keep reductions deterministic.
 func (o Options) forEachTask(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
+	if !o.NoPipeline && workers > 1 {
+		// Pipelined runs occupy two goroutines each (producer +
+		// timing consumer); halve the worker count so the grid and the
+		// per-run pipelines share GOMAXPROCS instead of oversubscribing.
+		workers = (workers + 1) / 2
+	}
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"codesignvm/internal/vmm"
+)
+
+// Persistent run store: the process-wide run-result cache (runcache.go)
+// spilled to disk, so a warm sweep in a *fresh process* is near-free.
+// Each finished simulation is written to <dir>/<hash>.run, keyed by a
+// content hash over (schema version, normalized machine configuration,
+// application, scale, instruction budget). The encoding follows the
+// internal/codecache/persist.go conventions: an ASCII magic, then
+// little-endian fixed-width fields behind one buffered writer.
+//
+// Concurrent processes single-flight through a <hash>.lock file
+// (O_CREATE|O_EXCL): the loser of the race polls for the winner's
+// result instead of duplicating a simulation that can take minutes.
+// Locks abandoned by crashed processes are stolen after a staleness
+// window. Store failures (read-only dir, corrupt file) degrade to
+// simulating — persistence is an accelerator, never a correctness
+// dependency.
+
+const (
+	runMagic = "CRUN1"
+	// runSchema versions the key derivation and record encoding; bump it
+	// whenever vmm.Config, vmm.Result or the encoding change shape so
+	// stale stores miss instead of misread. The config's textual %#v
+	// form is hashed, so most Config changes invalidate keys on their
+	// own; the version covers Result/encoding changes.
+	runSchema = 1
+	// lockStale is how long a lock file may sit unmodified before a
+	// waiting process assumes its owner died and steals it.
+	lockStale = 10 * time.Minute
+	// lockPoll is the wait between checks for the lock owner's result.
+	lockPoll = 50 * time.Millisecond
+)
+
+// storeHits counts disk-store loads (observable by tests and by the
+// overhead report; reads and writes race-free via atomics).
+var storeHits atomic.Uint64
+
+// runFileKey derives the content-hash key of one simulation. The
+// host-side execution mode (Pipeline) is normalized out: both modes
+// produce byte-identical results, so they share one store entry.
+func runFileKey(cfg vmm.Config, app string, scale int, instrs uint64) string {
+	cfg.Pipeline = false
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n%#v\n%s\n%d\n%d\n", runSchema, cfg, app, scale, instrs)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// storeLoad reads a previously persisted result, returning (nil, nil)
+// on any miss — absent file, bad magic, truncation — so callers fall
+// back to simulating.
+func storeLoad(dir, key string) (*vmm.Result, error) {
+	f, err := os.Open(filepath.Join(dir, key+".run"))
+	if err != nil {
+		return nil, nil
+	}
+	defer f.Close()
+	res, err := readResult(bufio.NewReader(f))
+	if err != nil {
+		return nil, nil // corrupt or stale-schema entry: re-simulate
+	}
+	storeHits.Add(1)
+	return res, nil
+}
+
+// storeSave persists a finished result atomically (temp file + rename,
+// so concurrent readers never observe a partial record). Errors are
+// returned for logging but callers treat them as non-fatal.
+func storeSave(dir, key string, res *vmm.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(tmp)
+	err = writeResult(bw, res)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, key+".run"))
+}
+
+// acquireRunLock tries to become the single flight for key across
+// processes. It returns (release, true) when this process should
+// simulate, or (nil, false) after another process's result appeared
+// (the caller re-reads the store).
+func acquireRunLock(dir, key string) (release func(), won bool) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return func() {}, true // can't lock: just simulate
+	}
+	lock := filepath.Join(dir, key+".lock")
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, true
+		}
+		if !os.IsExist(err) {
+			return func() {}, true // unexpected lock failure: simulate
+		}
+		// Another process is simulating this key: wait for its result,
+		// stealing the lock if it goes stale (owner crashed).
+		if st, serr := os.Stat(lock); serr == nil && time.Since(st.ModTime()) > lockStale {
+			os.Remove(lock)
+			continue
+		}
+		time.Sleep(lockPoll)
+		if _, serr := os.Stat(filepath.Join(dir, key+".run")); serr == nil {
+			return nil, false
+		}
+		if _, serr := os.Stat(lock); os.IsNotExist(serr) {
+			continue // owner released without a result; take over
+		}
+	}
+}
+
+// writeResult encodes one vmm.Result. Field order is fixed; floats are
+// stored as IEEE-754 bits. Samples are the only variable-length part.
+func writeResult(w *bufio.Writer, r *vmm.Result) error {
+	if _, err := w.WriteString(runMagic); err != nil {
+		return err
+	}
+	le := func(vs ...uint64) error {
+		for _, v := range vs {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fbits := func(fs ...float64) []uint64 {
+		out := make([]uint64, len(fs))
+		for i, f := range fs {
+			out[i] = math.Float64bits(f)
+		}
+		return out
+	}
+	bool64 := uint64(0)
+	if r.Halted {
+		bool64 = 1
+	}
+	if err := le(uint64(r.Strategy), bool64, r.Instrs); err != nil {
+		return err
+	}
+	if err := le(fbits(r.Cycles)...); err != nil {
+		return err
+	}
+	if err := le(fbits(r.Cat[:]...)...); err != nil {
+		return err
+	}
+	if err := le(r.BBTUops, r.BBTEntities, r.SBTUops, r.SBTEntities,
+		r.BBTTranslations, r.SBTTranslations, r.BBTX86Translated, r.SBTX86Translated,
+		r.XltInvocations, r.XltBusyCycles, r.Callouts,
+		r.JTLBHits, r.JTLBMisses, r.ShadowEvictions,
+		r.SBTInstrs, r.BBTInstrs, r.X86Instrs, r.InterpInstrs); err != nil {
+		return err
+	}
+	if err := le(fbits(r.X86ModeCycles)...); err != nil {
+		return err
+	}
+	if err := le(uint64(len(r.Samples))); err != nil {
+		return err
+	}
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		if err := le(fbits(s.Cycles)...); err != nil {
+			return err
+		}
+		if err := le(s.Instrs); err != nil {
+			return err
+		}
+		if err := le(fbits(s.Cat[:]...)...); err != nil {
+			return err
+		}
+		if err := le(fbits(s.XltBusy)...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResult decodes what writeResult wrote.
+func readResult(br *bufio.Reader) (*vmm.Result, error) {
+	magic := make([]byte, len(runMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != runMagic {
+		return nil, fmt.Errorf("experiments: bad run-store magic %q", magic)
+	}
+	var scratch [8]byte
+	le := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	lef := func() (float64, error) {
+		v, err := le()
+		return math.Float64frombits(v), err
+	}
+	r := &vmm.Result{}
+	var err error
+	read64 := func(dst *uint64) {
+		if err == nil {
+			*dst, err = le()
+		}
+	}
+	readf := func(dst *float64) {
+		if err == nil {
+			*dst, err = lef()
+		}
+	}
+	var strat, halted uint64
+	read64(&strat)
+	read64(&halted)
+	read64(&r.Instrs)
+	readf(&r.Cycles)
+	for i := range r.Cat {
+		readf(&r.Cat[i])
+	}
+	for _, dst := range []*uint64{
+		&r.BBTUops, &r.BBTEntities, &r.SBTUops, &r.SBTEntities,
+		&r.BBTTranslations, &r.SBTTranslations, &r.BBTX86Translated, &r.SBTX86Translated,
+		&r.XltInvocations, &r.XltBusyCycles, &r.Callouts,
+		&r.JTLBHits, &r.JTLBMisses, &r.ShadowEvictions,
+		&r.SBTInstrs, &r.BBTInstrs, &r.X86Instrs, &r.InterpInstrs,
+	} {
+		read64(dst)
+	}
+	readf(&r.X86ModeCycles)
+	var nSamples uint64
+	read64(&nSamples)
+	if err != nil {
+		return nil, err
+	}
+	if nSamples > 1<<24 {
+		return nil, fmt.Errorf("experiments: implausible sample count %d", nSamples)
+	}
+	r.Strategy = vmm.Strategy(strat)
+	r.Halted = halted != 0
+	r.Samples = make([]vmm.Sample, nSamples)
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		readf(&s.Cycles)
+		read64(&s.Instrs)
+		for j := range s.Cat {
+			readf(&s.Cat[j])
+		}
+		readf(&s.XltBusy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}

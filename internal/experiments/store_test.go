@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"codesignvm/internal/machine"
+	"codesignvm/internal/vmm"
+)
+
+// sampleResult builds a fully populated Result so the round-trip test
+// covers every encoded field with a distinct value.
+func sampleResult() *vmm.Result {
+	r := &vmm.Result{
+		Strategy: vmm.StratSoft,
+		Halted:   true,
+		Instrs:   123456,
+		Cycles:   987654.5,
+
+		BBTUops: 11, BBTEntities: 12, SBTUops: 13, SBTEntities: 14,
+		BBTTranslations: 15, SBTTranslations: 16,
+		BBTX86Translated: 17, SBTX86Translated: 18,
+		XltInvocations: 19, XltBusyCycles: 20, Callouts: 21,
+		JTLBHits: 22, JTLBMisses: 23, ShadowEvictions: 24,
+		SBTInstrs: 25, BBTInstrs: 26, X86Instrs: 27, InterpInstrs: 28,
+		X86ModeCycles: 29.25,
+	}
+	for i := range r.Cat {
+		r.Cat[i] = float64(i) * 1.5
+	}
+	r.Samples = []vmm.Sample{
+		{Cycles: 100.5, Instrs: 10, XltBusy: 1.25},
+		{Cycles: 200.5, Instrs: 20, XltBusy: 2.25},
+	}
+	for i := range r.Samples[1].Cat {
+		r.Samples[1].Cat[i] = float64(i) + 0.5
+	}
+	return r
+}
+
+// TestRunStoreRoundTrip: writeResult followed by readResult must
+// reproduce the Result exactly, including float bit patterns.
+func TestRunStoreRoundTrip(t *testing.T) {
+	want := sampleResult()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeResult(bw, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readResult(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch\nwant: %+v\ngot:  %+v", want, got)
+	}
+}
+
+// TestRunStoreRejectsCorruption: truncated or garbage entries must read
+// as a miss (nil, nil) so callers fall back to simulating.
+func TestRunStoreRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	key := "deadbeef"
+	if err := os.WriteFile(filepath.Join(dir, key+".run"), []byte("not a run record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := storeLoad(dir, key); res != nil || err != nil {
+		t.Fatalf("corrupt entry: want (nil, nil), got (%v, %v)", res, err)
+	}
+
+	// Valid magic, truncated body.
+	good := sampleResult()
+	if err := storeSave(dir, key, good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".run"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := storeLoad(dir, key); res != nil || err != nil {
+		t.Fatalf("truncated entry: want (nil, nil), got (%v, %v)", res, err)
+	}
+}
+
+// TestRunStoreKeyNormalization: the pipeline flag is a host-side
+// execution mode with byte-identical results, so it must not split
+// store keys — while real configuration changes must.
+func TestRunStoreKeyNormalization(t *testing.T) {
+	opt := detOpt().withDefaults()
+	cfg := opt.configFor(machine.VMSoft)
+
+	seq := cfg
+	seq.Pipeline = false
+	pipe := cfg
+	pipe.Pipeline = true
+	if runFileKey(seq, "Word", 25, 1000) != runFileKey(pipe, "Word", 25, 1000) {
+		t.Error("pipeline flag split the store key")
+	}
+	if runFileKey(cfg, "Word", 25, 1000) == runFileKey(cfg, "Excel", 25, 1000) {
+		t.Error("app name did not affect the store key")
+	}
+	other := cfg
+	other.HotThreshold++
+	if runFileKey(cfg, "Word", 25, 1000) == runFileKey(other, "Word", 25, 1000) {
+		t.Error("config change did not affect the store key")
+	}
+}
+
+// TestRunStorePersistsAcrossCacheReset simulates the cross-process
+// case in-process: populate a store, wipe the in-memory memoization,
+// and check the next request is served from disk (value-equal, with a
+// store hit recorded) instead of re-simulating.
+func TestRunStorePersistsAcrossCacheReset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	opt := detOpt().withDefaults()
+	opt.FreshRuns = false
+	opt.Store = t.TempDir()
+	cfg := opt.configFor(machine.VMSoft)
+
+	resetRunCacheForTest()
+	a, err := opt.runApp(cfg, "Word", opt.ShortInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A "new process": the sync.Map memoization is gone, only the disk
+	// store remains.
+	resetRunCacheForTest()
+	before := storeHits.Load()
+	b, err := opt.runApp(cfg, "Word", opt.ShortInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storeHits.Load() != before+1 {
+		t.Fatalf("expected exactly one store hit, got %d", storeHits.Load()-before)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("store-loaded result differs from the original simulation")
+	}
+
+	// FreshRuns skips store reads: no new hit, same answer.
+	resetRunCacheForTest()
+	fresh := opt
+	fresh.FreshRuns = true
+	before = storeHits.Load()
+	c, err := fresh.runApp(cfg, "Word", opt.ShortInstrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storeHits.Load() != before {
+		t.Fatal("FreshRuns read from the store")
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("fresh simulation differs from the stored result")
+	}
+}
+
+// TestRunStoreLockSingleFlight: a process holding the lock makes any
+// contender wait; publishing the result releases the contender with
+// won=false so it re-reads the store instead of simulating.
+func TestRunStoreLockSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	key := "cafef00d"
+
+	release, won := acquireRunLock(dir, key)
+	if !won {
+		t.Fatal("first contender did not win the lock")
+	}
+
+	type outcome struct{ won bool }
+	done := make(chan outcome, 1)
+	go func() {
+		_, w := acquireRunLock(dir, key)
+		done <- outcome{w}
+	}()
+
+	select {
+	case o := <-done:
+		t.Fatalf("contender returned (won=%v) while the lock was held", o.won)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// Winner publishes its result; the waiter must observe it and lose.
+	if err := storeSave(dir, key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case o := <-done:
+		if o.won {
+			t.Fatal("contender won the lock despite a published result")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("contender never observed the published result")
+	}
+	release()
+
+	// With the lock released and a result on disk the next acquire
+	// still wins (callers check the store before locking).
+	release2, won2 := acquireRunLock(dir, key)
+	if !won2 {
+		t.Fatal("post-release contender did not win the freed lock")
+	}
+	release2()
+}

@@ -31,8 +31,13 @@ func (n *NativeState) StoreArch(st *x86.State) {
 	st.Flags = n.Flags
 }
 
-// MemProbe observes data-memory accesses made by translated code; the
-// timing model implements it to drive the cache hierarchy.
+// MemProbe observes data-memory accesses made by translated code.
+// Probes are Exec's record-emission hooks: calls arrive in exact
+// execution order on the executing goroutine's critical path, so
+// implementations must be cheap and allocation-free. The sequential
+// timing model implements it to drive the cache hierarchy directly;
+// the decoupled execute/timing pipeline installs a probe that enqueues
+// trace records for the timing consumer instead.
 type MemProbe interface {
 	OnLoad(addr uint32, size uint8)
 	OnStore(addr uint32, size uint8)
@@ -40,7 +45,9 @@ type MemProbe interface {
 
 // BranchProbe observes conditional-branch outcomes inside translations
 // (UBR micro-ops); the timing model implements it to train the direction
-// predictor and charge misprediction stalls.
+// predictor and charge misprediction stalls. The same ordering and cost
+// contract as MemProbe applies: outcomes arrive in execution order and
+// may be deferred through a trace ring without changing what they train.
 type BranchProbe interface {
 	OnBranch(pc uint32, taken bool)
 }

@@ -61,6 +61,14 @@ var DefaultParams = Params{
 // Engine charges cycles for dynamic execution events. It owns the cache
 // hierarchy, branch predictor and the persistent dataflow state of one
 // simulated machine.
+//
+// The engine is single-goroutine state: every entry point (ChargeBlock,
+// OnLoad/OnStore, NoteBranch, AdvanceClock, ...) mutates the clock,
+// predictor tables or cache LRU order. A sequential run drives it
+// inline from the dispatch loop; the decoupled execute/timing pipeline
+// drives the identical call sequence from its timing-consumer
+// goroutine, replaying the producer's trace in execution order, so the
+// engine cannot tell the two modes apart.
 type Engine struct {
 	P      Params
 	Caches *cache.Hierarchy
@@ -321,7 +329,7 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 	invWidth := e.invWidth
 	for i := lo; i <= hi && i < len(uops); {
 		m := &meta[i]
-		if m.Step == 2 && i+1 > hi {
+		if i+1 > hi && m.Step == 2 {
 			// The range cuts a fused pair after its head: the head
 			// executes as a standalone entity (rare; mirrors the
 			// i+1 <= hi pairing guard of the reference replay).

@@ -1,0 +1,141 @@
+package vmm
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// force2Procs guarantees the pipeline actually engages: on a
+// single-proc host Run falls back to sequential, which would turn
+// every comparison below into sequential-vs-sequential.
+func force2Procs(t testing.TB) {
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// runBoth simulates the same program twice — sequentially and pipelined
+// with the given ring length — and returns both results.
+func runBoth(t *testing.T, cfg Config, seed int64, budget uint64, ringLen int) (seq, pipe *Result) {
+	t.Helper()
+	force2Procs(t)
+	code := buildProgram(seed)
+
+	run := func(pipeline bool) *Result {
+		c := cfg
+		c.Pipeline = pipeline
+		mem := freshMemory(code, seed)
+		vm := New(c, mem, initState())
+		vm.ringLen = ringLen
+		res, err := vm.Run(budget)
+		if err != nil {
+			t.Fatalf("seed %d pipeline=%v: %v", seed, pipeline, err)
+		}
+		return res
+	}
+	return run(false), run(true)
+}
+
+// TestPipelineMatchesSequential: the pipelined mode must reproduce the
+// sequential mode's Result exactly — every cycle count, every category,
+// every sample — across all strategies.
+func TestPipelineMatchesSequential(t *testing.T) {
+	for _, strat := range []Strategy{StratRef, StratSoft, StratBE, StratFE, StratInterp, StratStaged3} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				cfg := DefaultConfig(strat)
+				cfg.HotThreshold = 12
+				if strat == StratInterp {
+					cfg.HotThreshold = 5
+				}
+				seq, pipe := runBoth(t, cfg, seed, 4_000_000, 0)
+				if !reflect.DeepEqual(seq, pipe) {
+					t.Fatalf("seed %d: pipelined result differs from sequential\nseq:  %+v\npipe: %+v", seed, seq, pipe)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineRingWrapAround forces the trace ring to wrap around
+// thousands of times (a tiny 16-record ring against blocks that emit
+// more records than that) and checks exact equivalence. This exercises
+// the full-ring producer wait and the masked index arithmetic.
+func TestPipelineRingWrapAround(t *testing.T) {
+	cfg := DefaultConfig(StratSoft)
+	cfg.HotThreshold = 12
+	seq, pipe := runBoth(t, cfg, 3, 4_000_000, 16)
+	if !reflect.DeepEqual(seq, pipe) {
+		t.Fatalf("tiny-ring pipelined result differs from sequential\nseq:  %+v\npipe: %+v", seq, pipe)
+	}
+}
+
+// TestPipelineDrainPoints drives every mid-run synchronization point —
+// SBT promotion, BBT and SBT code-cache flushes, shadow-table eviction
+// — under the pipelined mode and checks exact equivalence with the
+// sequential reference.
+func TestPipelineDrainPoints(t *testing.T) {
+	t.Run("cache-flushes", func(t *testing.T) {
+		// Tiny code caches: continual flushes and re-translation, with
+		// SBT promotion at a low threshold.
+		for seed := int64(1); seed <= 4; seed++ {
+			cfg := DefaultConfig(StratSoft)
+			cfg.HotThreshold = 12
+			cfg.BBTCacheSize = 256
+			cfg.SBTCacheSize = 512
+			seq, pipe := runBoth(t, cfg, seed, 4_000_000, 64)
+			if !reflect.DeepEqual(seq, pipe) {
+				t.Fatalf("seed %d: flush-heavy pipelined run differs", seed)
+			}
+			if seq.SBTTranslations == 0 {
+				t.Fatalf("seed %d: no SBT promotion exercised", seed)
+			}
+		}
+	})
+	t.Run("shadow-eviction", func(t *testing.T) {
+		// A shadow table far smaller than the static footprint forces
+		// clock evictions on the interpreter path.
+		cfg := DefaultConfig(StratInterp)
+		cfg.HotThreshold = 5
+		cfg.ShadowCap = 8
+		seq, pipe := runBoth(t, cfg, 2, 4_000_000, 64)
+		if !reflect.DeepEqual(seq, pipe) {
+			t.Fatal("shadow-eviction pipelined run differs")
+		}
+		if seq.ShadowEvictions == 0 {
+			t.Fatal("no shadow eviction exercised")
+		}
+	})
+}
+
+// TestPipelineMultiRun checks that a pipelined VM may be re-run with a
+// larger budget (the code-cache-warm scenarios restart the same
+// machine) and still match a sequential VM driven identically.
+func TestPipelineMultiRun(t *testing.T) {
+	force2Procs(t)
+	code := buildProgram(9)
+	run := func(pipeline bool) *Result {
+		cfg := DefaultConfig(StratSoft)
+		cfg.HotThreshold = 12
+		cfg.Pipeline = pipeline
+		vm := New(cfg, freshMemory(code, 9), initState())
+		vm.ringLen = 64
+		for _, budget := range []uint64{1000, 5000, 4_000_000} {
+			if _, err := vm.Run(budget); err != nil {
+				t.Fatalf("pipeline=%v budget=%d: %v", pipeline, budget, err)
+			}
+		}
+		res, err := vm.Run(4_000_000) // already halted: epilogue only
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, pipe := run(false), run(true)
+	if !reflect.DeepEqual(seq, pipe) {
+		t.Fatalf("multi-run pipelined result differs\nseq:  %+v\npipe: %+v", seq, pipe)
+	}
+}

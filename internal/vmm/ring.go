@@ -1,0 +1,117 @@
+package vmm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// defaultRingLen is the trace-ring capacity in records. Sized so the
+// producer rarely blocks (a few hundred blocks of lookahead) while
+// keeping the buffer L2-resident; tests shrink it to force wrap-around.
+const defaultRingLen = 1 << 12
+
+// traceRing is a bounded single-producer/single-consumer queue of trace
+// records. The buffer is allocated once per VM and records are copied
+// in place, so steady-state operation performs no allocation.
+//
+// head is the producer's publication frontier, tail the consumer's
+// consumption frontier; both increase monotonically and are masked into
+// the buffer. Each side keeps a cached copy of the other's frontier so
+// the fast paths touch only their own cache line; the atomic
+// store/load pairs on head and tail provide the happens-before edges
+// that make the record contents (including *Translation pointees)
+// visible across the goroutines.
+type traceRing struct {
+	buf  []traceRec
+	mask uint64
+
+	_    [64]byte // keep the frontier lines from false sharing
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+
+	pHead      uint64 // producer-local mirror of head
+	cachedTail uint64 // producer's last-seen tail
+}
+
+func newTraceRing(n int) *traceRing {
+	if n <= 0 {
+		n = defaultRingLen
+	}
+	if n&(n-1) != 0 {
+		panic("vmm: trace ring length must be a power of two")
+	}
+	return &traceRing{buf: make([]traceRec, n), mask: uint64(n - 1)}
+}
+
+// push publishes one record, blocking while the ring is full.
+func (r *traceRing) push(rec *traceRec) {
+	if r.pHead-r.cachedTail >= uint64(len(r.buf)) {
+		r.waitSpace()
+	}
+	r.buf[r.pHead&r.mask] = *rec
+	r.pHead++
+	r.head.Store(r.pHead)
+}
+
+// waitSpace refreshes the cached tail until a slot frees up. The
+// consumer is pure computation (no I/O), so a brief spin usually
+// suffices; beyond that the producer yields rather than burn a core.
+func (r *traceRing) waitSpace() {
+	for spins := 0; ; spins++ {
+		r.cachedTail = r.tail.Load()
+		if r.pHead-r.cachedTail < uint64(len(r.buf)) {
+			return
+		}
+		if spins < 64 {
+			continue
+		}
+		if spins < 1024 {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// consume drains records in publication order, applying each through
+// fn, until an opStop record is reached. It runs on the consumer
+// goroutine; tail is republished after every record so producer-side
+// drain points observe progress promptly.
+func (r *traceRing) consume(fn func(*traceRec)) {
+	t := r.tail.Load()
+	spins := 0
+	for {
+		h := r.head.Load()
+		if t == h {
+			spins++
+			if spins < 64 {
+				continue
+			}
+			if spins < 1024 {
+				runtime.Gosched()
+				continue
+			}
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		spins = 0
+		for ; t != h; t++ {
+			rec := &r.buf[t&r.mask]
+			if rec.op == opStop {
+				r.tail.Store(t + 1)
+				return
+			}
+			fn(rec)
+			r.tail.Store(t + 1)
+		}
+	}
+}
+
+// drained reports whether the consumer has caught up with everything
+// the producer published.
+func (r *traceRing) drained() bool {
+	return r.tail.Load() == r.pHead
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 
 	"codesignvm/internal/bbt"
 	"codesignvm/internal/codecache"
@@ -17,6 +18,13 @@ import (
 )
 
 // VM is one simulated machine executing one architected program.
+//
+// Execution is organized as a two-stage pipeline (see trace.go): the
+// producer side (Run/dispatch/execute and the translators) performs
+// functional work and emits trace records; the consumer side (apply and
+// the helpers it calls) performs all timing work. Fields are owned by
+// exactly one side while a pipelined Run is in flight; the Run epilogue
+// reads consumer state only after joining the consumer goroutine.
 type VM struct {
 	Cfg Config
 	Mem *x86.Memory
@@ -32,18 +40,28 @@ type VM struct {
 	jtlb     *codecache.JTLB
 	det      detector
 	edges    *profile.EdgeProfile
-	xlt      *hwassist.XLTUnit
-	dmd      *hwassist.DualModeDecoder
 
 	invalidated []*codecache.Translation // BBT blocks superseded by SBT
 
+	// Producer state.
 	pc       uint32
 	halted   bool
 	prevT    *codecache.Translation
 	prevExit int
-	inX86    bool // current frontend mode (VM.fe)
+	inX86    bool   // current frontend mode (VM.fe)
+	instrs   uint64 // retired architected instructions (mirrors res.Instrs)
 
+	// Pipeline plumbing (nil/false in sequential mode).
+	ring       *traceRing
+	ringLen    int // test hook; 0 selects defaultRingLen
+	pipeDone   chan struct{}
+	pipelining bool
+
+	// Consumer state: the timing engine above plus everything below.
+	xlt        *hwassist.XLTUnit
+	dmd        *hwassist.DualModeDecoder
 	cycles     float64
+	spanStart  float64 // attribution span opened by opBlockStart
 	res        Result
 	nextSample float64
 }
@@ -119,9 +137,10 @@ func (v *VM) Caches() (bbtC, sbtC *codecache.Cache) { return v.bbtCache, v.sbtCa
 // DetectorCount returns the profiled entry count for a region.
 func (v *VM) DetectorCount(pc uint32) uint64 { return v.det.Count(pc) }
 
-// OnBranch implements fisa.BranchProbe: conditional branches inside
-// translations train the predictor; misprediction bubbles are queued for
-// the timing replay in program order.
+// OnBranch implements fisa.BranchProbe for the sequential mode (and the
+// opBranch apply case): conditional branches inside translations train
+// the predictor; misprediction bubbles are queued for the timing replay
+// in program order.
 func (v *VM) OnBranch(pc uint32, taken bool) {
 	pen := 0.0
 	if v.eng.Pred.Cond(pc, taken) {
@@ -139,7 +158,7 @@ func (v *VM) setMode(x86mode bool) {
 }
 
 // charge advances the machine clock by cycles of software activity and
-// attributes them to cat.
+// attributes them to cat. Consumer side.
 func (v *VM) charge(cat Category, cycles float64) {
 	v.eng.AdvanceClock(cycles)
 	v.res.Cat[cat] += cycles
@@ -147,7 +166,7 @@ func (v *VM) charge(cat Category, cycles float64) {
 }
 
 // attribute books already-elapsed machine time (from the dataflow
-// replay) to cat.
+// replay) to cat. Consumer side.
 func (v *VM) attribute(cat Category, delta float64) {
 	v.res.Cat[cat] += delta
 	v.cycles = v.eng.Now()
@@ -173,16 +192,37 @@ func (v *VM) snapshot() Sample {
 // the VM's lifetime) have retired or the program halts. It may be called
 // again with a larger budget to continue the same machine — e.g. after
 // flushing the caches to study the code-cache-warm startup scenario.
+//
+// With Cfg.Pipeline set, functional execution and timing run decoupled
+// on two goroutines (trace.go); results are byte-identical to the
+// sequential mode. Decoupling only buys wall-clock time when the
+// producer and consumer can actually run in parallel, so a single-proc
+// host (GOMAXPROCS=1) falls back to the sequential path — same
+// results, none of the hand-off overhead.
 func (v *VM) Run(maxInstrs uint64) (*Result, error) {
-	for !v.halted && v.res.Instrs < maxInstrs {
+	pipelined := v.Cfg.Pipeline && runtime.GOMAXPROCS(0) > 1 &&
+		!v.halted && v.instrs < maxInstrs
+	if pipelined {
+		v.startPipeline()
+	}
+	var runErr error
+	for !v.halted && v.instrs < maxInstrs {
 		t, cat, err := v.dispatch()
 		if err != nil {
-			return &v.res, err
+			runErr = err
+			break
 		}
 		if err := v.execute(t, cat); err != nil {
-			return &v.res, err
+			runErr = err
+			break
 		}
-		v.sampleIfDue()
+		v.emitSample()
+	}
+	if pipelined {
+		v.stopPipeline()
+	}
+	if runErr != nil {
+		return &v.res, runErr
 	}
 	v.res.Cycles = v.cycles
 	v.res.Halted = v.halted
@@ -254,14 +294,14 @@ func (v *VM) dispatch() (*codecache.Translation, Category, error) {
 	fromShadow := v.prevT != nil && v.prevT.Shadow
 	if dispatchCost && !t.Shadow && (cfg.Strategy.UsesBBT() || t.Kind == codecache.KindSBT) &&
 		!(cfg.Strategy == StratFE && fromShadow) {
-		v.charge(CatVMM, cfg.DispatchCycles)
+		v.emitCharge(CatVMM, cfg.DispatchCycles)
 	}
 
 	// Mode switches (VM.fe): crossing between x86-mode and native mode.
 	if cfg.Strategy == StratFE {
 		x86mode := cat == CatX86Emu
 		if x86mode != v.inX86 {
-			v.charge(CatVMM, cfg.ModeSwitchCycles)
+			v.emitCharge(CatVMM, cfg.ModeSwitchCycles)
 			v.inX86 = x86mode
 		}
 	}
@@ -325,9 +365,12 @@ func (v *VM) jtlbValid(c *codecache.Translation) bool {
 }
 
 // shadowPut registers a shadow block, counting clock evictions and
-// shooting down the jump-TLB entry of any victim.
+// shooting down the jump-TLB entry of any victim. An eviction is a
+// pipeline sync point: the consumer catches up before the victim's
+// state is reused.
 func (v *VM) shadowPut(pc uint32, t *codecache.Translation) {
 	if epc, evicted := v.shadow.put(pc, t); evicted {
+		v.drainPipeline()
 		v.res.ShadowEvictions++
 		v.jtlb.Evict(epc)
 	}
@@ -409,18 +452,16 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 		// HAloop with the XLTx86 unit; complex instructions fall back to
 		// software cracking (Flag_cmplx).
 		cost = cfg.BBTCyclesPerInst*float64(simple) + cfg.BBTComplexCycles*float64(complex)
-		v.xlt.Invocations += uint64(t.NumX86)
-		v.xlt.BusyCycles += uint64(v.xlt.Latency * simple)
-		v.xlt.ComplexFallbacks += uint64(complex)
+		v.emitXlt(uint32(t.NumX86), simple, complex)
 		// Fsrc streaming buffer and direct code-cache writeback: no
 		// data-cache pollution (§4.2).
 	default:
 		cost = cfg.BBTCyclesPerInst * float64(t.NumX86)
 		// The software translator reads architected code through the
 		// data cache and writes the translation through it as well.
-		v.eng.Caches.Touch(t.EntryPC, t.X86Bytes, false)
+		v.emitTouch(t.EntryPC, uint32(t.X86Bytes), false)
 	}
-	v.charge(CatBBTXlate, cost)
+	v.emitCharge(CatBBTXlate, cost)
 
 	flushed, err := v.bbtCache.Insert(t)
 	if err != nil {
@@ -430,7 +471,7 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 		v.onBBTFlush()
 	}
 	if cfg.Strategy == StratSoft {
-		v.eng.Caches.Touch(t.Addr, t.Size, true)
+		v.emitTouch(t.Addr, uint32(t.Size), true)
 	}
 	v.res.BBTTranslations++
 	v.res.BBTX86Translated += uint64(t.NumX86)
@@ -438,17 +479,21 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 }
 
 // formSuperblock translates and optimizes the hot region entered at pc.
+// Hot-threshold promotion is a pipeline sync point: the timing consumer
+// catches up before the superblock is formed, so the decision and its
+// side effects observe exactly the serial loop's state.
 func (v *VM) formSuperblock(pc uint32) error {
+	v.drainPipeline()
 	cfg := &v.Cfg
 	t, err := sbt.Form(v.Mem, pc, v.edges, cfg.SBT)
 	if err != nil {
 		return err
 	}
 	timing.AnalyzeWith(t, cfg.Timing)
-	v.charge(CatSBTXlate, cfg.SBTCyclesPerInst*float64(t.NumX86))
+	v.emitCharge(CatSBTXlate, cfg.SBTCyclesPerInst*float64(t.NumX86))
 	// The optimizer reads the architected code and writes the superblock
 	// through the data cache (it is software in every configuration).
-	v.eng.Caches.Touch(pc, t.X86Bytes, false)
+	v.emitTouch(pc, uint32(t.X86Bytes), false)
 
 	flushed, err := v.sbtCache.Insert(t)
 	if err != nil {
@@ -457,7 +502,7 @@ func (v *VM) formSuperblock(pc uint32) error {
 	if flushed {
 		v.onSBTFlush()
 	}
-	v.eng.Caches.Touch(t.Addr, t.Size, true)
+	v.emitTouch(t.Addr, uint32(t.Size), true)
 
 	// Retire the BBT block (or shadow profile state) it supersedes.
 	if old := v.bbtCache.Lookup(pc); old != nil && !old.Invalid {
@@ -475,14 +520,17 @@ func (v *VM) formSuperblock(pc uint32) error {
 // onBBTFlush handles a basic-block code cache flush: chains into the old
 // epoch die automatically (epoch check); profiling state is kept (the
 // blocks remain warm in the detector, as with a real software counter
-// table in VMM memory).
+// table in VMM memory). Flushes are pipeline sync points.
 func (v *VM) onBBTFlush() {
+	v.drainPipeline()
 	v.invalidated = v.invalidated[:0]
 }
 
 // onSBTFlush handles a superblock cache flush: superseded BBT blocks
-// become live again and regions must be re-detected before re-optimizing.
+// become live again and regions must be re-detected before
+// re-optimizing. Flushes are pipeline sync points.
 func (v *VM) onSBTFlush() {
+	v.drainPipeline()
 	for _, t := range v.invalidated {
 		t.Invalid = false
 	}
@@ -490,29 +538,29 @@ func (v *VM) onSBTFlush() {
 	v.det = newDetector(&v.Cfg)
 }
 
-// execute runs one translation, replays it through the dataflow timing
-// model, and charges its cycles to cat.
+// execute runs one translation functionally and emits its timing trace:
+// block start (mode + fetch), the executed micro-op ranges with their
+// memory and branch events, callout serializations, and the closing
+// attribution/statistics record.
 func (v *VM) execute(t *codecache.Translation, cat Category) error {
-	cfg := &v.Cfg
-	x86mode := cat == CatX86Emu
-	v.setMode(x86mode)
-
-	env := fisa.Env{St: &v.nst, Mem: v.Mem, Probe: v.eng}
-	if cat != CatInterp {
-		env.Branch = v
+	env := fisa.Env{St: &v.nst, Mem: v.Mem}
+	if v.pipelining {
+		p := traceProbe{v}
+		env.Probe = p
+		if cat != CatInterp {
+			env.Branch = p
+		}
+	} else {
+		// Sequential mode: the probes feed the timing engine directly —
+		// exactly the work of apply(opLoad/opStore/opBranch), without
+		// record overhead.
+		env.Probe = v.eng
+		if cat != CatInterp {
+			env.Branch = v
+		}
 	}
 
-	before := v.eng.Now()
-
-	// Instruction fetch stalls delay the whole frontend.
-	switch cat {
-	case CatInterp:
-		v.eng.AdvanceClock(v.interpFetch(t))
-	case CatX86Emu:
-		v.eng.AdvanceClock(v.eng.FetchCycles(t.EntryPC, t.X86Bytes))
-	default:
-		v.eng.AdvanceClock(v.eng.FetchCycles(t.Addr, t.Size))
-	}
+	v.emitBlockStart(t, cat)
 
 	var total fisa.ExecStats
 	start := 0
@@ -530,23 +578,19 @@ func (v *VM) execute(t *codecache.Translation, cat Category) error {
 
 		// Timing replay over the executed (linear) ranges.
 		if cat == CatInterp {
-			v.eng.AdvanceClock(cfg.InterpCyclesPerInst*float64(st.Boundaries) + v.eng.DrainQueues())
+			v.emitSegInterp(st.Boundaries)
 		} else if st.TakenBranchIdx >= 0 {
-			v.eng.ChargeBlock(t, start, st.TakenBranchIdx)
-			v.eng.ChargeBlock(t, idx, idx)
+			v.emitSeg(t, start, st.TakenBranchIdx)
+			v.emitSeg(t, idx, idx)
 		} else {
-			v.eng.ChargeBlock(t, start, idx)
+			v.emitSeg(t, start, idx)
 		}
 
 		if kind == fisa.StopCallout {
 			if err := v.calloutExec(t.Uops[idx].X86PC); err != nil {
 				return err
 			}
-			v.eng.Serialize()
-			if cat != CatInterp && cat != CatX86Emu {
-				v.eng.AdvanceClock(cfg.CalloutCycles)
-			}
-			v.res.Callouts++
+			v.emitCallout(cat != CatInterp && cat != CatX86Emu)
 			start = idx + 1
 			continue
 		}
@@ -554,34 +598,9 @@ func (v *VM) execute(t *codecache.Translation, cat Category) error {
 		break
 	}
 
-	if cat == CatBBTEmu {
-		v.eng.AdvanceClock(cfg.ProfilingCycles) // embedded software profiling
-	}
-	if cat == CatX86Emu {
-		v.dmd.OnX86Mode(total.Boundaries)
-		v.res.X86ModeCycles += v.eng.Now() - before
-	} else if cat != CatInterp {
-		v.dmd.OnNativeMode(total.Uops)
-	}
-	v.attribute(cat, v.eng.Now()-before)
-
-	// Statistics.
-	v.res.Instrs += uint64(total.Boundaries)
+	v.emitBlockEnd(cat, total.Boundaries, total.Uops, uint64(total.Entities))
+	v.instrs += uint64(total.Boundaries)
 	t.ExecCount++
-	switch cat {
-	case CatSBTEmu:
-		v.res.SBTInstrs += uint64(total.Boundaries)
-		v.res.SBTUops += uint64(total.Uops)
-		v.res.SBTEntities += uint64(total.Entities)
-	case CatBBTEmu:
-		v.res.BBTInstrs += uint64(total.Boundaries)
-		v.res.BBTUops += uint64(total.Uops)
-		v.res.BBTEntities += uint64(total.Entities)
-	case CatX86Emu:
-		v.res.X86Instrs += uint64(total.Boundaries)
-	case CatInterp:
-		v.res.InterpInstrs += uint64(total.Boundaries)
-	}
 
 	return v.resolveExit(t, exitIdx, cat)
 }
@@ -604,7 +623,7 @@ func (v *VM) calloutExec(pc uint32) error {
 }
 
 // interpFetch charges the interpreter's reads of architected code bytes
-// (data-side accesses).
+// (data-side accesses). Consumer side.
 func (v *VM) interpFetch(t *codecache.Translation) float64 {
 	const line = 64
 	stall := 0.0
@@ -635,17 +654,13 @@ func (v *VM) resolveExit(t *codecache.Translation, exitIdx int, cat Category) er
 
 	case codecache.ExitIndirect:
 		next = v.nst.R[e.TargetReg]
-		var pen float64
+		var flags uint8
 		switch {
 		case e.Ret:
-			pen = v.eng.BranchCycles(timing.CTIRet, e.BranchPC, next, 0, true)
+			flags |= flagRet
 		case e.Call:
-			pen = v.eng.BranchCycles(timing.CTIIndirect, e.BranchPC, next, e.ReturnPC, true)
-			v.eng.BranchCycles(timing.CTICall, e.BranchPC, next, e.ReturnPC, true)
-		default:
-			pen = v.eng.BranchCycles(timing.CTIIndirect, e.BranchPC, next, 0, true)
+			flags |= flagCall
 		}
-		v.charge(cat, pen)
 		// Software indirect-target lookup for translated code. Returns
 		// are exempt: the co-designed pipeline predicts them into the
 		// code cache with a dual-address return address stack (the
@@ -653,13 +668,14 @@ func (v *VM) resolveExit(t *codecache.Translation, exitIdx int, cat Category) er
 		// as the design's mechanism), so only computed jumps and
 		// indirect calls take the software hash path.
 		if !t.Shadow && cat != CatInterp && !e.Ret {
-			v.charge(CatVMM, cfg.IndirectCycles)
+			flags |= flagIndLookup
 		}
+		v.emitExitInd(cat, e.BranchPC, next, e.ReturnPC, flags)
 
 	default: // Fall, Taken, Side — static target
 		next = e.Target
 		if e.Call {
-			v.eng.BranchCycles(timing.CTICall, e.BranchPC, next, e.ReturnPC, true)
+			v.emitExitCall(e.BranchPC, next, e.ReturnPC)
 		}
 		// Conditional-branch prediction was handled by the UBR probe
 		// during execution; direct jumps/calls resolve in decode.

@@ -23,14 +23,24 @@ type shadowEntry struct {
 	ref bool
 }
 
+// shadowFrontSize is the size of the direct-mapped lookup front cache.
+// It memoizes pc→entry-index guesses only; every guess is validated
+// against the entry's pc before use, so stale slots (after clock
+// replacement or remove's swap) simply fall through to the map and
+// semantics are exactly those of the map alone.
+const shadowFrontSize = 1024
+
 // shadowTable is the bounded shadow-block store: a map index over a
 // dense entry array scanned by a clock (second-chance) hand when the
-// capacity is reached.
+// capacity is reached. A small direct-mapped front cache short-circuits
+// the map on the dispatch path (x86-mode and interpreted strategies
+// look up a shadow block per executed block).
 type shadowTable struct {
-	cap  int
-	idx  map[uint32]int
-	ents []shadowEntry
-	hand int
+	cap   int
+	idx   map[uint32]int
+	ents  []shadowEntry
+	hand  int
+	front [shadowFrontSize]int32 // pc-hashed entry-index guesses
 }
 
 func newShadowTable(capacity int) *shadowTable {
@@ -43,10 +53,18 @@ func newShadowTable(capacity int) *shadowTable {
 // get returns the resident block for pc (touching its reference bit),
 // or nil.
 func (s *shadowTable) get(pc uint32) *codecache.Translation {
+	h := (pc * 0x9E3779B1) >> 22 // Fibonacci hash to 10 bits (shadowFrontSize)
+	if g := s.front[h]; int(g) < len(s.ents) {
+		if e := &s.ents[g]; e.pc == pc {
+			e.ref = true
+			return e.t
+		}
+	}
 	i, ok := s.idx[pc]
 	if !ok {
 		return nil
 	}
+	s.front[h] = int32(i)
 	s.ents[i].ref = true
 	return s.ents[i].t
 }

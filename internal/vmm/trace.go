@@ -1,0 +1,381 @@
+package vmm
+
+import (
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/timing"
+)
+
+// The execute/timing pipeline decouples the VM's functional work from
+// its timing work. The producer (the Run loop: dispatch, translation,
+// fisa.Exec) performs only functional execution and emits one compact
+// trace record per timing-relevant event; the consumer applies the
+// records, in exact trace order, against the timing engine (machine
+// clock, cache hierarchy, branch predictor, per-category accounting and
+// cycle-indexed samples).
+//
+// Determinism is by construction: the sequential mode and the pipelined
+// mode emit the *same record sequence* through the *same apply switch*;
+// the only difference is whether apply runs inline (sequential) or on
+// the consumer goroutine fed by the SPSC ring (pipelined). Every apply
+// case is a verbatim transplant of the corresponding statement of the
+// pre-pipeline serial loop, so the two modes cannot diverge. Reported
+// results are byte-identical (asserted by TestPipelineMatchesSequential
+// here and by the figure-level determinism tests in
+// internal/experiments).
+//
+// No functional decision in the producer reads timing state: hotspot
+// detection counts entries, cache flushes trigger on code-cache
+// occupancy, branch directions come from architected flags, and
+// indirect targets from architected registers. The timing engine is a
+// pure observer, which is what makes the split sound. The drain points
+// (superblock formation, code-cache flushes, shadow eviction) are kept
+// anyway as a defensive contract — see DESIGN.md.
+
+// traceOp identifies one timing action.
+type traceOp uint8
+
+const (
+	// opCharge advances the machine clock by f cycles of software
+	// activity attributed to category cat (VM.charge).
+	opCharge traceOp = iota
+	// opTouch warms the data hierarchy over [a, a+b) (translator
+	// traffic); flagWrite selects a write.
+	opTouch
+	// opXlt books XLTx86 activity for a VM.be block translation:
+	// a = x86 instructions, i1 = simple, i2 = complex fallbacks.
+	opXlt
+	// opBlockStart opens one translation execution: sets the frontend
+	// mode for cat, marks the attribution span start and charges the
+	// instruction fetch of t.
+	opBlockStart
+	// opLoad / opStore are the data accesses of translated code
+	// (a = addr, u8 = size), replayed into the cache hierarchy and the
+	// load-latency queue in program order.
+	opLoad
+	opStore
+	// opBranch is one executed conditional branch (a = x86 PC,
+	// flagTaken = outcome): trains the predictor, queues the bubble.
+	opBranch
+	// opSeg replays the executed micro-op range t.Uops[i1..i2] through
+	// the dataflow model (timing.ChargeBlock).
+	opSeg
+	// opSegInterp charges an interpreted segment of i1 architected
+	// instructions plus the queued load stalls.
+	opSegInterp
+	// opCallout serializes the pipeline around a complex-instruction
+	// callout; flagCalloutCost adds the VMM entry/exit cost.
+	opCallout
+	// opBlockEnd closes the block: profiling cost (BBT), dual-mode
+	// decoder activity, span attribution to cat and retirement stats
+	// (i1 = boundaries, i2 = uops, a = entities).
+	opBlockEnd
+	// opExitInd resolves an indirect exit: return/indirect prediction,
+	// misprediction charge to cat and the software indirect-lookup
+	// charge (a = branch PC, b = target, c = return PC; flagRet,
+	// flagCall, flagIndLookup).
+	opExitInd
+	// opExitCall records a direct call with the return-address stack
+	// (a = branch PC, b = target, c = return PC).
+	opExitCall
+	// opSample emits due startup-curve samples (VM.sampleIfDue).
+	opSample
+	// opStop terminates the consumer (pipelined mode only).
+	opStop
+)
+
+// traceRec flags.
+const (
+	flagWrite       uint8 = 1 << iota // opTouch: write access
+	flagTaken                         // opBranch: branch taken
+	flagCalloutCost                   // opCallout: charge CalloutCycles
+	flagRet                           // opExitInd: return instruction
+	flagCall                          // opExitInd: indirect call
+	flagIndLookup                     // opExitInd: software target lookup
+)
+
+// traceRec is one fixed-size trace record. Field use depends on op; see
+// the op constants. Records are written in place into the ring buffer,
+// so the pipeline allocates nothing per event.
+type traceRec struct {
+	t     *codecache.Translation
+	c     float64 // opCharge cycles
+	a, b  uint32
+	i1    int32
+	i2    int32
+	op    traceOp
+	flags uint8
+	cat   Category
+	u8    uint8 // memory access size
+}
+
+// apply performs the timing work of one trace record by dispatching to
+// the timing methods below. It is the single timing interpreter for the
+// pipelined consumer; the sequential path calls the same methods
+// directly through the emit* helpers (run.go), skipping the record
+// construction and this switch. Both modes therefore run the exact
+// same statement sequence against the timing engine.
+func (v *VM) apply(r *traceRec) {
+	switch r.op {
+	case opCharge:
+		v.charge(r.cat, r.c)
+
+	case opTouch:
+		v.eng.Caches.Touch(r.a, int(r.b), r.flags&flagWrite != 0)
+
+	case opXlt:
+		v.bookXlt(r.a, int(r.i1), int(r.i2))
+
+	case opBlockStart:
+		v.blockStart(r.t, r.cat)
+
+	case opLoad:
+		v.eng.OnLoad(r.a, r.u8)
+
+	case opStore:
+		v.eng.OnStore(r.a, r.u8)
+
+	case opBranch:
+		v.OnBranch(r.a, r.flags&flagTaken != 0)
+
+	case opSeg:
+		v.eng.ChargeBlock(r.t, int(r.i1), int(r.i2))
+
+	case opSegInterp:
+		v.segInterp(int(r.i1))
+
+	case opCallout:
+		v.callout(r.flags&flagCalloutCost != 0)
+
+	case opBlockEnd:
+		v.blockEnd(r.cat, int(r.i1), int(r.i2), uint64(r.a))
+
+	case opExitInd:
+		v.exitInd(r.cat, r.a, r.b, uint32(r.i1), r.flags)
+
+	case opExitCall:
+		v.eng.BranchCycles(timing.CTICall, r.a, r.b, uint32(r.i1), true)
+
+	case opSample:
+		v.sampleIfDue()
+	}
+}
+
+// The timing methods. Consumer side: each is one trace op's worth of
+// timing work, the exact statement sequence of the serial code it
+// replaced, shared verbatim by both execution modes.
+
+// bookXlt books XLTx86 activity for one VM.be block translation.
+func (v *VM) bookXlt(numX86 uint32, simple, complexN int) {
+	v.xlt.Invocations += uint64(numX86)
+	v.xlt.BusyCycles += uint64(v.xlt.Latency * simple)
+	v.xlt.ComplexFallbacks += uint64(complexN)
+}
+
+// blockStart opens one translation execution: frontend mode, the
+// attribution span start, and the instruction fetch.
+func (v *VM) blockStart(t *codecache.Translation, cat Category) {
+	v.setMode(cat == CatX86Emu)
+	v.spanStart = v.eng.Now()
+	switch cat {
+	case CatInterp:
+		v.eng.AdvanceClock(v.interpFetch(t))
+	case CatX86Emu:
+		v.eng.AdvanceClock(v.eng.FetchCycles(t.EntryPC, t.X86Bytes))
+	default:
+		v.eng.AdvanceClock(v.eng.FetchCycles(t.Addr, t.Size))
+	}
+}
+
+// segInterp charges an interpreted segment of n architected
+// instructions plus the queued load stalls.
+func (v *VM) segInterp(n int) {
+	v.eng.AdvanceClock(v.Cfg.InterpCyclesPerInst*float64(n) + v.eng.DrainQueues())
+}
+
+// callout serializes the pipeline around a complex-instruction callout.
+func (v *VM) callout(chargeCost bool) {
+	v.eng.Serialize()
+	if chargeCost {
+		v.eng.AdvanceClock(v.Cfg.CalloutCycles)
+	}
+	v.res.Callouts++
+}
+
+// blockEnd closes the block: profiling cost, decoder activity, span
+// attribution and retirement statistics.
+func (v *VM) blockEnd(cat Category, boundaries, uops int, entities uint64) {
+	if cat == CatBBTEmu {
+		v.eng.AdvanceClock(v.Cfg.ProfilingCycles) // embedded software profiling
+	}
+	if cat == CatX86Emu {
+		v.dmd.OnX86Mode(boundaries)
+		v.res.X86ModeCycles += v.eng.Now() - v.spanStart
+	} else if cat != CatInterp {
+		v.dmd.OnNativeMode(uops)
+	}
+	v.attribute(cat, v.eng.Now()-v.spanStart)
+	v.res.Instrs += uint64(boundaries)
+	switch cat {
+	case CatSBTEmu:
+		v.res.SBTInstrs += uint64(boundaries)
+		v.res.SBTUops += uint64(uops)
+		v.res.SBTEntities += entities
+	case CatBBTEmu:
+		v.res.BBTInstrs += uint64(boundaries)
+		v.res.BBTUops += uint64(uops)
+		v.res.BBTEntities += entities
+	case CatX86Emu:
+		v.res.X86Instrs += uint64(boundaries)
+	case CatInterp:
+		v.res.InterpInstrs += uint64(boundaries)
+	}
+}
+
+// exitInd resolves an indirect exit: return/indirect prediction, the
+// misprediction charge and the software indirect-lookup charge.
+func (v *VM) exitInd(cat Category, branchPC, target, returnPC uint32, flags uint8) {
+	var pen float64
+	switch {
+	case flags&flagRet != 0:
+		pen = v.eng.BranchCycles(timing.CTIRet, branchPC, target, 0, true)
+	case flags&flagCall != 0:
+		pen = v.eng.BranchCycles(timing.CTIIndirect, branchPC, target, returnPC, true)
+		v.eng.BranchCycles(timing.CTICall, branchPC, target, returnPC, true)
+	default:
+		pen = v.eng.BranchCycles(timing.CTIIndirect, branchPC, target, 0, true)
+	}
+	v.charge(cat, pen)
+	if flags&flagIndLookup != 0 {
+		v.charge(CatVMM, v.Cfg.IndirectCycles)
+	}
+}
+
+// The emit* helpers below are the producer's interface to the timing
+// stage: pipelined, they push one record into the ring; sequential,
+// they invoke the timing method directly — no record, no dispatch
+// switch. This matters: the serial mode is the fallback on single-proc
+// hosts and the reference arm of every determinism test, so it should
+// pay nothing for the pipeline's existence.
+
+func (v *VM) emitCharge(cat Category, cycles float64) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opCharge, cat: cat, c: cycles})
+		return
+	}
+	v.charge(cat, cycles)
+}
+
+func (v *VM) emitTouch(addr, size uint32, write bool) {
+	if v.pipelining {
+		r := traceRec{op: opTouch, a: addr, b: size}
+		if write {
+			r.flags = flagWrite
+		}
+		v.ring.push(&r)
+		return
+	}
+	v.eng.Caches.Touch(addr, int(size), write)
+}
+
+func (v *VM) emitXlt(numX86 uint32, simple, complexN int) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opXlt, a: numX86, i1: int32(simple), i2: int32(complexN)})
+		return
+	}
+	v.bookXlt(numX86, simple, complexN)
+}
+
+func (v *VM) emitBlockStart(t *codecache.Translation, cat Category) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opBlockStart, t: t, cat: cat})
+		return
+	}
+	v.blockStart(t, cat)
+}
+
+func (v *VM) emitSeg(t *codecache.Translation, lo, hi int) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opSeg, t: t, i1: int32(lo), i2: int32(hi)})
+		return
+	}
+	v.eng.ChargeBlock(t, lo, hi)
+}
+
+func (v *VM) emitSegInterp(n int) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opSegInterp, i1: int32(n)})
+		return
+	}
+	v.segInterp(n)
+}
+
+func (v *VM) emitCallout(chargeCost bool) {
+	if v.pipelining {
+		r := traceRec{op: opCallout}
+		if chargeCost {
+			r.flags = flagCalloutCost
+		}
+		v.ring.push(&r)
+		return
+	}
+	v.callout(chargeCost)
+}
+
+func (v *VM) emitBlockEnd(cat Category, boundaries, uops int, entities uint64) {
+	if v.pipelining {
+		v.ring.push(&traceRec{
+			op: opBlockEnd, cat: cat,
+			i1: int32(boundaries), i2: int32(uops), a: uint32(entities),
+		})
+		return
+	}
+	v.blockEnd(cat, boundaries, uops, entities)
+}
+
+func (v *VM) emitExitInd(cat Category, branchPC, target, returnPC uint32, flags uint8) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opExitInd, cat: cat, a: branchPC, b: target, i1: int32(returnPC), flags: flags})
+		return
+	}
+	v.exitInd(cat, branchPC, target, returnPC, flags)
+}
+
+func (v *VM) emitExitCall(branchPC, target, returnPC uint32) {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opExitCall, a: branchPC, b: target, i1: int32(returnPC)})
+		return
+	}
+	v.eng.BranchCycles(timing.CTICall, branchPC, target, returnPC, true)
+}
+
+func (v *VM) emitSample() {
+	if v.pipelining {
+		v.ring.push(&traceRec{op: opSample})
+		return
+	}
+	v.sampleIfDue()
+}
+
+// traceProbe adapts the fisa execution probes to trace-record emission
+// for the pipelined mode: functional execution reports its loads,
+// stores and branch outcomes as records instead of touching the timing
+// engine directly. The sequential mode keeps the direct probe wiring
+// (Env.Probe = engine, Env.Branch = VM), which performs exactly the
+// work of apply(opLoad/opStore/opBranch) without the indirection.
+type traceProbe struct{ v *VM }
+
+func (p traceProbe) OnLoad(addr uint32, size uint8) {
+	p.v.ring.push(&traceRec{op: opLoad, a: addr, u8: size})
+}
+
+func (p traceProbe) OnStore(addr uint32, size uint8) {
+	p.v.ring.push(&traceRec{op: opStore, a: addr, u8: size})
+}
+
+func (p traceProbe) OnBranch(pc uint32, taken bool) {
+	r := traceRec{op: opBranch, a: pc}
+	if taken {
+		r.flags = flagTaken
+	}
+	p.v.ring.push(&r)
+}

@@ -149,6 +149,17 @@ type Config struct {
 	// Sampling of the startup curves: geometric spacing factor for
 	// cycle-indexed samples.
 	SampleGrowth float64
+
+	// Pipeline selects the host-side execution mode of the simulator
+	// itself: when set, functional execution (dispatch + fisa.Exec) and
+	// timing (dataflow replay, caches, predictor, sampling) run
+	// decoupled on two goroutines connected by a bounded SPSC trace
+	// ring (see run.go / trace.go). Reported results are byte-identical
+	// to the sequential mode; only host wall-clock changes, so the
+	// run-result caches treat the two modes as the same simulation.
+	// Hosts without parallelism (GOMAXPROCS=1) ignore the flag and run
+	// sequentially — decoupling cannot help there, only cost.
+	Pipeline bool
 }
 
 // DefaultConfig returns the baseline configuration for a strategy, using
@@ -176,6 +187,7 @@ func DefaultConfig(s Strategy) Config {
 		JTLBEntries:          DefaultJTLBEntries,
 		ShadowCap:            DefaultShadowCap,
 		SampleGrowth:         1.25,
+		Pipeline:             true,
 	}
 	cfg.InterpToBBT = 4
 	switch s {

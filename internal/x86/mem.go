@@ -5,44 +5,61 @@ const PageSize = 4096
 
 type page [PageSize]byte
 
+// tlbSize is the size of the host-side page-translation cache. The hot
+// loop alternates between a handful of pages (code, data, stack), so a
+// small direct-mapped cache turns nearly every map lookup into an
+// array probe.
+const tlbSize = 64
+
+type tlbEntry struct {
+	idx uint32
+	p   *page
+}
+
 // Memory is a sparse, paged, little-endian 32-bit address space. Reads of
 // unmapped memory return zero bytes; writes allocate pages on demand.
 type Memory struct {
 	pages map[uint32]*page
 
-	// Single-entry translation cache for the last touched page.
-	lastIdx  uint32
-	lastPage *page
+	// Direct-mapped translation cache over pages (host-side only; no
+	// simulated-machine semantics).
+	tlb [tlbSize]tlbEntry
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint32]*page), lastIdx: ^uint32(0)}
+	m := &Memory{pages: make(map[uint32]*page)}
+	for i := range m.tlb {
+		m.tlb[i].idx = ^uint32(0) // impossible page index (addr space has 2^20 pages)
+	}
+	return m
 }
 
 func (m *Memory) lookup(addr uint32) *page {
 	idx := addr / PageSize
-	if idx == m.lastIdx {
-		return m.lastPage
+	e := &m.tlb[idx%tlbSize]
+	if e.idx == idx {
+		return e.p
 	}
 	p := m.pages[idx]
 	if p != nil {
-		m.lastIdx, m.lastPage = idx, p
+		e.idx, e.p = idx, p
 	}
 	return p
 }
 
 func (m *Memory) ensure(addr uint32) *page {
 	idx := addr / PageSize
-	if idx == m.lastIdx {
-		return m.lastPage
+	e := &m.tlb[idx%tlbSize]
+	if e.idx == idx {
+		return e.p
 	}
 	p := m.pages[idx]
 	if p == nil {
 		p = new(page)
 		m.pages[idx] = p
 	}
-	m.lastIdx, m.lastPage = idx, p
+	e.idx, e.p = idx, p
 	return p
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Tier-1 gate: vet, build, and the full test suite under the race
-# detector (the experiment grid and the run/workload caches are
-# concurrent by default).
+# detector (the experiment grid, the run/workload caches, and the
+# per-run execute/timing pipeline are concurrent by default).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -9,3 +9,19 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# The pipeline's worker budgeting and ring hand-off must also hold when
+# the producer and consumer are forced to share two OS threads. Scoped
+# to the pipeline/store tests: with GOMAXPROCS=2 the pipeline engages
+# inside *every* simulated run, and the full experiments suite under
+# race instrumentation exceeds the go-test timeout on small CI hosts.
+# (-count=1: GOMAXPROCS is not part of the test cache key, so a cached
+# pass from the full run above would otherwise satisfy this line.)
+GOMAXPROCS=2 go test -race -count=1 -timeout 1800s -run 'Pipeline|RunStore' \
+	./internal/vmm/ ./internal/experiments/
+
+# Benchmark smoke: one iteration each of the hot-path benchmarks, so a
+# build that breaks their alloc budgets or harness wiring fails here
+# rather than in a manual perf run.
+go test -run '^$' -bench 'DispatchHot|BBTTranslate' -benchtime=1x ./internal/vmm/ ./internal/bbt/
+go test -run '^$' -bench 'Fig2' -benchtime=1x .

@@ -14,6 +14,12 @@
 // figures (2, 3, 8–11) in one process so they share simulation
 // results; "all" adds the extension experiments.
 //
+// Observability (see OBSERVABILITY.md):
+//
+//	vmsim -exp fig2 -metrics table           # aggregate metric table
+//	vmsim -exp run -events trace.jsonl       # JSONL lifecycle events
+//	vmsim -exp sweep -progress 10s           # periodic progress line
+//
 // Host-side profiling (see README.md):
 //
 //	vmsim -exp sweep -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -28,6 +34,7 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"sync"
 	"time"
 
 	codesignvm "codesignvm"
@@ -48,7 +55,15 @@ var (
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
+
+	metricsFlag  = flag.String("metrics", "", "print aggregate observability metrics on exit: \"table\" or \"json\"")
+	eventsFlag   = flag.String("events", "", "write the VM lifecycle-event trace to this file (JSON Lines)")
+	progressFlag = flag.Duration("progress", 0, "print a progress line to stderr at this interval during sweeps (0: disabled)")
 )
+
+// obsv is the process observer, non-nil when any observability flag is
+// set. All experiment and single runs report into it.
+var obsv *codesignvm.Observer
 
 func main() {
 	flag.Parse()
@@ -57,12 +72,99 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vmsim:", err)
 		os.Exit(1)
 	}
+	finish, err := setupObservability()
+	if err != nil {
+		stop()
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
 	err = run()
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmsim:", err)
 		os.Exit(1)
 	}
+}
+
+// setupObservability builds the process observer from the -metrics,
+// -events and -progress flags. The returned finish function stops the
+// progress printer, prints the aggregate metrics and flushes the event
+// file; it must run after the experiments complete.
+func setupObservability() (finish func() error, err error) {
+	if *metricsFlag != "" && *metricsFlag != "table" && *metricsFlag != "json" {
+		return nil, fmt.Errorf("-metrics must be \"table\" or \"json\", got %q", *metricsFlag)
+	}
+	if *metricsFlag == "" && *eventsFlag == "" && *progressFlag <= 0 {
+		return func() error { return nil }, nil
+	}
+	var sink codesignvm.EventSink
+	var jsonl *codesignvm.JSONLSink
+	var f *os.File
+	if *eventsFlag != "" {
+		f, err = os.Create(*eventsFlag)
+		if err != nil {
+			return nil, err
+		}
+		jsonl = codesignvm.NewJSONLSink(f)
+		sink = jsonl
+	}
+	obsv = codesignvm.NewObserver(sink)
+	stopProgress := func() {}
+	if *progressFlag > 0 {
+		stopProgress = startProgress(obsv, *progressFlag)
+	}
+	return func() error {
+		stopProgress()
+		if *metricsFlag == "json" {
+			if err := obsv.Aggregate().WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else if *metricsFlag == "table" {
+			fmt.Printf("observability metrics (aggregate over %d runs):\n", obsv.RunCount())
+			obsv.Aggregate().Format(os.Stdout)
+		}
+		if jsonl != nil {
+			if err := jsonl.Flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "vmsim: wrote %d events to %s\n", obsv.EventsEmitted(), *eventsFlag)
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// startProgress prints a periodic sweep-progress line to stderr. It
+// reads only atomic process counters and the global event sequence, so
+// it is safe against the concurrently running experiment grid.
+func startProgress(o *codesignvm.Observer, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(os.Stderr, "[vmsim +%s] runs %d/%d done, store %d hit / %d miss, %d events\n",
+					time.Since(start).Round(time.Second),
+					o.Proc.Counter("runs.done", "runs").Value(),
+					o.Proc.Counter("runs.started", "runs").Value(),
+					o.Proc.Counter("store.hits", "loads").Value(),
+					o.Proc.Counter("store.misses", "loads").Value(),
+					o.EventsEmitted())
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
 }
 
 // startProfiling wires the standard pprof/trace outputs around the run.
@@ -130,6 +232,7 @@ func options() codesignvm.Options {
 		NoPipeline: !*pipeFlag,
 		FreshRuns:  *freshFlag,
 		Store:      *storeFlag,
+		Obs:        obsv,
 	}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
@@ -296,7 +399,8 @@ func runSingle(opt codesignvm.Options) error {
 	cfg := codesignvm.DefaultConfig(m)
 	cfg.Pipeline = *pipeFlag
 	start := time.Now()
-	res, err := codesignvm.RunConfig(cfg, prog, budget)
+	// NewRun on a nil observer returns a nil recorder: observability off.
+	res, err := codesignvm.RunConfigObserved(cfg, prog, budget, obsv.NewRun(fmt.Sprintf("%v/%s", m, *appFlag)))
 	if err != nil {
 		return err
 	}

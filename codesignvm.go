@@ -35,10 +35,13 @@
 package codesignvm
 
 import (
+	"io"
+
 	"codesignvm/internal/experiments"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
 	"codesignvm/internal/model"
+	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 	"codesignvm/internal/workload"
 	"codesignvm/internal/x86"
@@ -143,6 +146,50 @@ func Run(m Model, prog *Program, maxInstrs uint64) (*Result, error) {
 // RunConfig simulates with an explicit configuration.
 func RunConfig(cfg Config, prog *Program, maxInstrs uint64) (*Result, error) {
 	return machine.RunConfig(cfg, prog, maxInstrs)
+}
+
+// Observability layer (internal/obs; see OBSERVABILITY.md).
+
+type (
+	// Observer is the process-wide observability root: one event sink,
+	// process-level counters, and an aggregate view over per-run
+	// metric registries. A nil *Observer means "disabled" everywhere.
+	Observer = obs.Observer
+	// Recorder is one run's observability handle (per-run metrics plus
+	// event emission); mint one per run with Observer.NewRun.
+	Recorder = obs.Recorder
+	// MetricsSnapshot is a point-in-time copy of a metric registry; the
+	// Result.Metrics field carries one per instrumented run.
+	MetricsSnapshot = obs.Snapshot
+	// Event is one typed VM lifecycle record.
+	Event = obs.Event
+	// EventKind discriminates lifecycle events (BBT translate, SBT
+	// promotion, cache flush, …).
+	EventKind = obs.EventKind
+	// EventSink receives emitted events.
+	EventSink = obs.Sink
+	// JSONLSink renders events as self-describing JSON Lines.
+	JSONLSink = obs.JSONLSink
+	// CollectSink captures events in memory (tests, tooling).
+	CollectSink = obs.CollectSink
+)
+
+// NewObserver returns an observer emitting to sink (nil sink: metrics
+// only, no event stream).
+func NewObserver(sink EventSink) *Observer { return obs.NewObserver(sink) }
+
+// NewJSONLSink returns an event sink writing JSON Lines to w; call
+// Flush when done.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewCollectSink returns an in-memory event sink.
+func NewCollectSink() *CollectSink { return obs.NewCollectSink() }
+
+// RunConfigObserved simulates with an observability recorder attached:
+// events flow to the recorder's sink during the run and the Result
+// carries the metric snapshot. A nil recorder behaves like RunConfig.
+func RunConfigObserved(cfg Config, prog *Program, maxInstrs uint64, rec *Recorder) (*Result, error) {
+	return machine.RunConfigObserved(cfg, prog, maxInstrs, rec)
 }
 
 // NewVM builds a VM over the program without running it, for incremental

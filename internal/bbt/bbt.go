@@ -1,14 +1,3 @@
-// Package bbt implements the basic block translator of the co-designed
-// VM: the light-weight first translation stage that cracks one
-// architected basic block at a time into straight-forward micro-op code
-// with no optimization, placing it in the basic-block code cache for
-// reuse (Fig. 1 of the paper).
-//
-// The package builds the translation *content*; the translation *cost*
-// (ΔBBT ≈ 105 native instructions / 83 cycles per x86 instruction in
-// software, or ≈ 20 cycles with the XLTx86 backend assist) is charged by
-// the machine model, so the same translator body serves VM.soft and
-// VM.be.
 package bbt
 
 import (

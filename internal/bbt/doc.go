@@ -1,0 +1,22 @@
+// Package bbt implements the basic block translator of the co-designed
+// VM: the light-weight first translation stage that cracks one
+// architected basic block at a time into straight-forward micro-op code
+// with no optimization, placing it in the basic-block code cache for
+// reuse (Fig. 1 of the paper).
+//
+// The package builds the translation *content*; the translation *cost*
+// (ΔBBT ≈ 105 native instructions / 83 cycles per x86 instruction in
+// software, or ≈ 20 cycles with the XLTx86 backend assist) is charged by
+// the machine model, so the same translator body serves VM.soft and
+// VM.be.
+//
+// BBT is where the paper's startup argument lives: §3.2 shows cold-code
+// basic-block translation — not hotspot optimization — dominates the
+// startup transient (Eq. 1: MBBT·ΔBBT ≫ MSBT·ΔSBT), which is why both
+// hardware assists (§4) attack ΔBBT or remove BBT from the cold path
+// entirely. Blocks end at the first branch (or the MaxInsts cap) and
+// carry exit stubs the dispatch loop later chains; the x86→micro-op
+// cracking itself is shared with the hardware-assist models via
+// internal/crack, so all translation paths are semantically identical by
+// construction.
+package bbt

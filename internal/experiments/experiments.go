@@ -1,10 +1,3 @@
-// Package experiments contains one harness per table and figure of the
-// paper's evaluation. Each harness runs the required machine
-// configurations over the Winstone2004-like workload suite and emits the
-// same rows/series the paper reports (normalized aggregate-IPC startup
-// curves, frequency histograms, breakeven points, cycle breakdowns and
-// hardware-assist activity). DESIGN.md §4 maps experiment IDs to these
-// functions; EXPERIMENTS.md records measured-vs-paper values.
 package experiments
 
 import (
@@ -16,6 +9,7 @@ import (
 
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
+	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 	"codesignvm/internal/workload"
 )
@@ -57,6 +51,15 @@ type Options struct {
 	// interpreted-mode threshold is scaled proportionally. Used for
 	// threshold-sensitivity studies and fast smoke runs.
 	HotThreshold uint64
+	// Obs attaches the observability layer (internal/obs): every fresh
+	// simulation gets a per-run recorder minted from this observer (its
+	// metric snapshot rides on the Result and is persisted with it),
+	// lifecycle events flow to the observer's sink, and process-level
+	// counters (runs.started/done, store.hits/misses) update live for
+	// progress reporting. Nil disables observability entirely —
+	// instrumented and uninstrumented sweeps produce byte-identical
+	// reports either way.
+	Obs *obs.Observer
 }
 
 // configFor builds the vmm configuration for a model under these

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 
 	"codesignvm/internal/machine"
+	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 	"codesignvm/internal/workload"
 )
@@ -65,7 +67,7 @@ func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result,
 		if err != nil {
 			return nil, err
 		}
-		res, err := machine.RunConfig(cfg, prog, instrs)
+		res, err := o.runObserved(cfg, prog, app, instrs)
 		if err == nil && o.Store != "" {
 			// Fresh runs skip store reads but still publish: a later
 			// process can reuse the work.
@@ -92,26 +94,29 @@ func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs ui
 	if o.Store != "" {
 		key = runFileKey(cfg, app, scale, instrs)
 		if res, _ := storeLoad(o.Store, key); res != nil {
+			o.obsStore(true, cfg, app)
 			return res, nil
 		}
+		o.obsStore(false, cfg, app)
 	}
 	prog, err := workload.App(app, scale)
 	if err != nil {
 		return nil, err
 	}
 	if o.Store == "" {
-		return machine.RunConfig(cfg, prog, instrs)
+		return o.runObserved(cfg, prog, app, instrs)
 	}
 	for {
 		release, won := acquireRunLock(o.Store, key)
 		if !won {
 			// Another process finished this run while we waited.
 			if res, _ := storeLoad(o.Store, key); res != nil {
+				o.obsStore(true, cfg, app)
 				return res, nil
 			}
 			continue // result vanished (cleaned store?); re-contend
 		}
-		res, err := machine.RunConfig(cfg, prog, instrs)
+		res, err := o.runObserved(cfg, prog, app, instrs)
 		if err == nil {
 			storeSave(o.Store, key, res) // best-effort publication
 		}
@@ -120,10 +125,45 @@ func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs ui
 	}
 }
 
-// cloneResult copies a result deeply enough to hand out: Samples is
-// the only reference-typed field.
+// obsTag labels a run's events and recorder: "model/app".
+func (o Options) obsTag(cfg vmm.Config, app string) string {
+	return fmt.Sprintf("%v/%s", cfg.Strategy, app)
+}
+
+// runObserved simulates one run, minting a per-run recorder and keeping
+// the process-level run counters when observability is enabled.
+func (o Options) runObserved(cfg vmm.Config, prog *workload.Program, app string, instrs uint64) (*vmm.Result, error) {
+	if o.Obs == nil {
+		return machine.RunConfig(cfg, prog, instrs)
+	}
+	o.Obs.Proc.Counter("runs.started", "runs").Inc()
+	res, err := machine.RunConfigObserved(cfg, prog, instrs, o.Obs.NewRun(o.obsTag(cfg, app)))
+	if err == nil {
+		o.Obs.Proc.Counter("runs.done", "runs").Inc()
+	}
+	return res, err
+}
+
+// obsStore reports one disk-store lookup outcome.
+func (o Options) obsStore(hit bool, cfg vmm.Config, app string) {
+	if o.Obs == nil {
+		return
+	}
+	if hit {
+		o.Obs.Proc.Counter("store.hits", "loads").Inc()
+		o.Obs.Emit(obs.EvStoreHit, o.obsTag(cfg, app), 0, 0, 0, 0)
+	} else {
+		o.Obs.Proc.Counter("store.misses", "loads").Inc()
+		o.Obs.Emit(obs.EvStoreMiss, o.obsTag(cfg, app), 0, 0, 0, 0)
+	}
+}
+
+// cloneResult copies a result deeply enough to hand out: Samples and
+// Metrics are the reference-typed fields. (Metric bucket slices are
+// shared — snapshots are immutable once taken.)
 func cloneResult(r *vmm.Result) *vmm.Result {
 	c := *r
 	c.Samples = append([]vmm.Sample(nil), r.Samples...)
+	c.Metrics = append(obs.Snapshot(nil), r.Metrics...)
 	return &c
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 )
 
@@ -39,7 +40,8 @@ const (
 	// stale stores miss instead of misread. The config's textual %#v
 	// form is hashed, so most Config changes invalidate keys on their
 	// own; the version covers Result/encoding changes.
-	runSchema = 1
+	// v2: appended observability metric snapshots (Result.Metrics).
+	runSchema = 2
 	// lockStale is how long a lock file may sit unmodified before a
 	// waiting process assumes its owner died and steals it.
 	lockStale = 10 * time.Minute
@@ -200,6 +202,35 @@ func writeResult(w *bufio.Writer, r *vmm.Result) error {
 			return err
 		}
 	}
+	// Observability snapshot (schema v2): count, then per metric the
+	// name/unit strings, kind, value bits, observation count and buckets.
+	wstr := func(s string) error {
+		if err := le(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := w.WriteString(s)
+		return err
+	}
+	if err := le(uint64(len(r.Metrics))); err != nil {
+		return err
+	}
+	for i := range r.Metrics {
+		m := &r.Metrics[i]
+		if err := wstr(m.Name); err != nil {
+			return err
+		}
+		if err := wstr(m.Unit); err != nil {
+			return err
+		}
+		if err := le(uint64(m.Kind), math.Float64bits(m.Value), m.Count, uint64(len(m.Buckets))); err != nil {
+			return err
+		}
+		for _, b := range m.Buckets {
+			if err := le(b.Le, b.Count); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -272,6 +303,59 @@ func readResult(br *bufio.Reader) (*vmm.Result, error) {
 			readf(&s.Cat[j])
 		}
 		readf(&s.XltBusy)
+	}
+	rstr := func() (string, error) {
+		n, err := le()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<12 {
+			return "", fmt.Errorf("experiments: implausible metric-string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var nMetrics uint64
+	read64(&nMetrics)
+	if err != nil {
+		return nil, err
+	}
+	if nMetrics > 1<<16 {
+		return nil, fmt.Errorf("experiments: implausible metric count %d", nMetrics)
+	}
+	// A zero count decodes to a nil snapshot, so a result persisted by an
+	// uninstrumented run round-trips to exactly the in-memory original.
+	for i := uint64(0); i < nMetrics; i++ {
+		var m obs.Metric
+		if m.Name, err = rstr(); err != nil {
+			return nil, err
+		}
+		if m.Unit, err = rstr(); err != nil {
+			return nil, err
+		}
+		var kind, vbits, nBuckets uint64
+		read64(&kind)
+		read64(&vbits)
+		read64(&m.Count)
+		read64(&nBuckets)
+		if err != nil {
+			return nil, err
+		}
+		if nBuckets > 1<<12 {
+			return nil, fmt.Errorf("experiments: implausible bucket count %d", nBuckets)
+		}
+		m.Kind = obs.Kind(kind)
+		m.Value = math.Float64frombits(vbits)
+		for j := uint64(0); j < nBuckets; j++ {
+			var b obs.Bucket
+			read64(&b.Le)
+			read64(&b.Count)
+			m.Buckets = append(m.Buckets, b)
+		}
+		r.Metrics = append(r.Metrics, m)
 	}
 	if err != nil {
 		return nil, err

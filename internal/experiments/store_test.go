@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"codesignvm/internal/machine"
+	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 )
 
@@ -39,6 +40,13 @@ func sampleResult() *vmm.Result {
 	}
 	for i := range r.Samples[1].Cat {
 		r.Samples[1].Cat[i] = float64(i) + 0.5
+	}
+	r.Metrics = obs.Snapshot{
+		{Name: "vm.bbt.translations", Unit: "blocks", Kind: obs.KindCounter, Value: 15},
+		{Name: "vm.run.cycles", Unit: "cycles", Kind: obs.KindGauge, Value: 987654.5},
+		{Name: "vm.bbt.block_x86", Unit: "x86 instrs", Kind: obs.KindHistogram,
+			Value: 60, Count: 9,
+			Buckets: []obs.Bucket{{Le: 4, Count: 3}, {Le: 8, Count: 6}, {Le: obs.InfBound, Count: 0}}},
 	}
 	return r
 }

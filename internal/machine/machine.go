@@ -16,6 +16,7 @@ package machine
 import (
 	"fmt"
 
+	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 	"codesignvm/internal/workload"
 )
@@ -92,8 +93,18 @@ func Run(m Model, prog *workload.Program, maxInstrs uint64) (*vmm.Result, error)
 // RunConfig simulates with an explicit configuration (used by ablation
 // and sensitivity experiments).
 func RunConfig(cfg vmm.Config, prog *workload.Program, maxInstrs uint64) (*vmm.Result, error) {
+	return RunConfigObserved(cfg, prog, maxInstrs, nil)
+}
+
+// RunConfigObserved simulates with an observability recorder attached:
+// lifecycle events flow to the recorder's sink during the run and the
+// Result carries the recorder's metric snapshot. A nil recorder behaves
+// exactly like RunConfig. The recorder rides on the VM, not the
+// configuration, so cfg remains a comparable cache/store key.
+func RunConfigObserved(cfg vmm.Config, prog *workload.Program, maxInstrs uint64, rec *obs.Recorder) (*vmm.Result, error) {
 	mem := prog.Memory()
 	vm := vmm.New(cfg, mem, prog.InitState())
+	vm.SetObserver(rec)
 	return vm.Run(maxInstrs)
 }
 

@@ -1,0 +1,23 @@
+// Package sbt implements the hotspot superblock translator/optimizer of
+// the co-designed VM: profile-guided superblock formation (single entry,
+// multiple side exits, following the dominant path across conditional
+// branches and straightening unconditional jumps), followed by the
+// optimization passes the fused-micro-op design relies on:
+//
+//  1. copy propagation across the superblock,
+//  2. dead-code and dead-flag elimination,
+//  3. macro-op fusion: reordering single-cycle ALU micro-ops next to
+//     their first consumers and setting the fusible bit so the pipeline
+//     issues each pair as one entity (the paper's core mechanism).
+//
+// SBT translation cost (ΔSBT ≈ 1152 x86 / 1674 native instructions per
+// x86 instruction) is charged by the machine model.
+//
+// SBT is the second stage of the paper's Fig. 1b staged-emulation
+// system: blocks whose profile counters cross the Eq. 2 hot threshold
+// N = ΔSBT/(p−1) ≈ 8000 are promoted here, where p ≈ 1.15-1.2 is the
+// code-quality ratio of optimized superblocks over BBT code. Formation
+// follows §2's description of the reference VM; the fusion pass
+// (opt.go) implements the macro-op pairing the implementation ISA is
+// co-designed around.
+package sbt

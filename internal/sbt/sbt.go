@@ -1,17 +1,3 @@
-// Package sbt implements the hotspot superblock translator/optimizer of
-// the co-designed VM: profile-guided superblock formation (single entry,
-// multiple side exits, following the dominant path across conditional
-// branches and straightening unconditional jumps), followed by the
-// optimization passes the fused-micro-op design relies on:
-//
-//  1. copy propagation across the superblock,
-//  2. dead-code and dead-flag elimination,
-//  3. macro-op fusion: reordering single-cycle ALU micro-ops next to
-//     their first consumers and setting the fusible bit so the pipeline
-//     issues each pair as one entity (the paper's core mechanism).
-//
-// SBT translation cost (ΔSBT ≈ 1152 x86 / 1674 native instructions per
-// x86 instruction) is charged by the machine model.
 package sbt
 
 import (

@@ -1,0 +1,209 @@
+package vmm
+
+import (
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/obs"
+)
+
+// Observability wiring. The VM carries an optional *vmObs holding the
+// run's recorder plus pre-registered metric handles, so every emission
+// site costs one nil check when observability is disabled and no
+// registry lookups when it is enabled. All sites are producer-side
+// (dispatch, translators, flush/eviction handlers), so event order is
+// the functional execution order and is identical between the
+// sequential and pipelined modes; the only pipelined-mode-specific
+// kinds are EvRingStall and EvRingDrain, which describe the host-side
+// pipeline itself. Nothing here is read back by the simulation:
+// observability is purely observational (see internal/obs).
+
+// jtlbEpochInterval is the slow-path dispatch-lookup count between
+// EvJTLBEpoch summaries. Per-lookup events would swamp a trace (the
+// JTLB fronts every non-chained dispatch), so hit/miss behaviour is
+// reported as periodic cumulative snapshots.
+const jtlbEpochInterval = 1 << 16
+
+// ringStallSample rate-limits EvRingStall events: the counter counts
+// every full-ring wait, but only every ringStallSample-th emits an
+// event (a saturated ring stalls continuously).
+const ringStallSample = 1024
+
+// Drain reasons (EvRingDrain payload A; keep OBSERVABILITY.md in sync).
+const (
+	drainSBTPromote = iota
+	drainBBTFlush
+	drainSBTFlush
+	drainShadowEvict
+)
+
+// vmObs caches the metric handles of one run's recorder.
+type vmObs struct {
+	rec *obs.Recorder
+
+	// Live-updated at their (rare) emission sites.
+	bbtTranslations *obs.Counter
+	sbtPromotions   *obs.Counter
+	chains          *obs.Counter
+	unchains        *obs.Counter
+	bbtFlushes      *obs.Counter
+	sbtFlushes      *obs.Counter
+	shadowEvicts    *obs.Counter
+	jtlbEpochs      *obs.Counter
+	ringStalls      *obs.Counter
+	ringDrains      *obs.Counter
+
+	bbtBlockX86  *obs.Histogram
+	sbtBlockX86  *obs.Histogram
+	drainPending *obs.Histogram
+}
+
+// SetObserver attaches (or, with nil, detaches) an observability
+// recorder. Call it before Run. The recorder hangs off the VM, never
+// off Config: Config must stay a flat comparable value — it keys the
+// experiment-layer run caches and is hashed for the persistent store.
+func (v *VM) SetObserver(rec *obs.Recorder) {
+	if rec == nil {
+		v.obs = nil
+		return
+	}
+	reg := rec.Reg
+	v.obs = &vmObs{
+		rec:             rec,
+		bbtTranslations: reg.Counter("vm.bbt.translations", "blocks"),
+		sbtPromotions:   reg.Counter("vm.sbt.promotions", "superblocks"),
+		chains:          reg.Counter("vm.chain.links", "links"),
+		unchains:        reg.Counter("vm.chain.unlinks", "blocks"),
+		bbtFlushes:      reg.Counter("vm.cache.bbt.flushes", "flushes"),
+		sbtFlushes:      reg.Counter("vm.cache.sbt.flushes", "flushes"),
+		shadowEvicts:    reg.Counter("vm.shadow.evictions", "blocks"),
+		jtlbEpochs:      reg.Counter("vm.jtlb.epochs", "epochs"),
+		ringStalls:      reg.Counter("vm.ring.stalls", "waits"),
+		ringDrains:      reg.Counter("vm.ring.drains", "drains"),
+		bbtBlockX86:     reg.Histogram("vm.bbt.block_x86", "x86 instrs", obs.BucketsPow2(2, 8)),
+		sbtBlockX86:     reg.Histogram("vm.sbt.superblock_x86", "x86 instrs", obs.BucketsPow2(4, 8)),
+		drainPending:    reg.Histogram("vm.ring.drain_pending", "records", obs.BucketsPow2(1, 13)),
+	}
+}
+
+// Observer returns the attached recorder (nil when disabled).
+func (v *VM) Observer() *obs.Recorder {
+	if v.obs == nil {
+		return nil
+	}
+	return v.obs.rec
+}
+
+func (v *VM) obsRunStart(budget uint64) {
+	v.obs.rec.Emit(obs.EvRunStart, 0, budget, 0, 0)
+}
+
+// obsRunEnd mirrors the statistics the simulator already keeps (Result
+// fields, code-cache stats) into the registry — mirrored once here
+// instead of double-counted on the hot path — emits the closing event,
+// and attaches the snapshot to the Result.
+func (v *VM) obsRunEnd() {
+	o := v.obs
+	reg := o.rec.Reg
+	reg.Counter("vm.run.instrs", "instrs").Store(v.res.Instrs)
+	reg.Gauge("vm.run.cycles", "cycles").Set(v.res.Cycles)
+	reg.Counter("vm.run.callouts", "callouts").Store(v.res.Callouts)
+	reg.Counter("vm.jtlb.hits", "lookups").Store(v.res.JTLBHits)
+	reg.Counter("vm.jtlb.misses", "lookups").Store(v.res.JTLBMisses)
+	reg.Gauge("vm.shadow.resident", "blocks").Set(float64(v.shadow.len()))
+	for _, c := range [...]struct {
+		name  string
+		cache *codecache.Cache
+	}{{"bbt", v.bbtCache}, {"sbt", v.sbtCache}} {
+		st := c.cache.Stats()
+		p := "vm.cache." + c.name + "."
+		reg.Counter(p+"inserts", "translations").Store(st.Inserts)
+		reg.Counter(p+"lookups", "lookups").Store(st.Lookups)
+		reg.Counter(p+"hits", "lookups").Store(st.Hits)
+		reg.Counter(p+"chains", "links").Store(st.Chains)
+		reg.Gauge(p+"used", "bytes").Set(float64(c.cache.Used()))
+		reg.Gauge(p+"live", "translations").Set(float64(c.cache.Len()))
+	}
+	o.rec.Emit(obs.EvRunEnd, 0, v.res.Instrs, uint64(v.res.Cycles), 0)
+	v.res.Metrics = reg.Snapshot()
+}
+
+func (v *VM) obsBBTTranslate(t *codecache.Translation) {
+	o := v.obs
+	o.bbtTranslations.Inc()
+	o.bbtBlockX86.Observe(uint64(t.NumX86))
+	o.rec.Emit(obs.EvBBTTranslate, t.EntryPC, uint64(t.NumX86), uint64(t.NumUops), uint64(t.Size))
+}
+
+func (v *VM) obsSBTPromote(t *codecache.Translation) {
+	o := v.obs
+	o.sbtPromotions.Inc()
+	o.sbtBlockX86.Observe(uint64(t.NumX86))
+	o.rec.Emit(obs.EvSBTPromote, t.EntryPC, uint64(t.NumX86), uint64(t.NumUops), uint64(t.Size))
+}
+
+func (v *VM) obsChain(from, to *codecache.Translation) {
+	o := v.obs
+	o.chains.Inc()
+	o.rec.Emit(obs.EvChain, v.pc, uint64(from.EntryPC), uint64(to.EntryPC), 0)
+}
+
+func (v *VM) obsUnchain(old *codecache.Translation) {
+	o := v.obs
+	o.unchains.Inc()
+	o.rec.Emit(obs.EvUnchain, old.EntryPC, v.bbtCache.Epoch(), 0, 0)
+}
+
+// obsFlush reports a code-cache flush; id is 0 for BBT, 1 for SBT.
+func (v *VM) obsFlush(c *codecache.Cache, id uint64) {
+	o := v.obs
+	if id == 0 {
+		o.bbtFlushes.Inc()
+	} else {
+		o.sbtFlushes.Inc()
+	}
+	o.rec.Emit(obs.EvCacheFlush, 0, id, c.Epoch(), c.Stats().Flushes)
+}
+
+func (v *VM) obsShadowEvict(evictedPC uint32) {
+	o := v.obs
+	o.shadowEvicts.Inc()
+	o.rec.Emit(obs.EvShadowEvict, evictedPC, uint64(v.shadow.len()), 0, 0)
+}
+
+// obsJTLB emits a periodic cumulative hit/miss summary; call after each
+// slow-path lookup has been counted in res.
+func (v *VM) obsJTLB() {
+	total := v.res.JTLBHits + v.res.JTLBMisses
+	if total%jtlbEpochInterval != 0 {
+		return
+	}
+	o := v.obs
+	o.jtlbEpochs.Inc()
+	o.rec.Emit(obs.EvJTLBEpoch, 0, v.res.JTLBHits, v.res.JTLBMisses, 0)
+}
+
+// obsDrain reports a pipeline drain point; called with the pipeline
+// live, before the wait, so pending reflects the consumer's backlog at
+// the moment the sync began.
+func (v *VM) obsDrain(reason int) {
+	o := v.obs
+	pending := v.ring.pending()
+	o.ringDrains.Inc()
+	o.drainPending.Observe(pending)
+	o.rec.Emit(obs.EvRingDrain, 0, uint64(reason), pending, 0)
+}
+
+// obsArmRing installs (or clears) the trace ring's stall hook for this
+// Run. Runs on the producer goroutine, like every stall.
+func (v *VM) obsArmRing() {
+	if v.obs == nil {
+		v.ring.onStall = nil
+		return
+	}
+	o := v.obs
+	v.ring.onStall = func(n uint64) {
+		o.ringStalls.Inc()
+		if n%ringStallSample == 1 {
+			o.rec.Emit(obs.EvRingStall, 0, n, 0, 0)
+		}
+	}
+}

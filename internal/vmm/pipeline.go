@@ -19,6 +19,7 @@ func (v *VM) startPipeline() {
 	if v.ring == nil {
 		v.ring = newTraceRing(v.ringLen)
 	}
+	v.obsArmRing()
 	v.pipeDone = make(chan struct{})
 	go func() {
 		defer close(v.pipeDone)
@@ -52,9 +53,12 @@ func (v *VM) emitStop() {
 // trace.go — so these drains are a defensive contract rather than a
 // correctness requirement; they are kept because they are cheap at
 // these rare events and make the equivalence argument local.)
-func (v *VM) drainPipeline() {
+func (v *VM) drainPipeline(reason int) {
 	if !v.pipelining {
 		return
+	}
+	if v.obs != nil {
+		v.obsDrain(reason)
 	}
 	for spins := 0; !v.ring.drained(); spins++ {
 		if spins >= 64 {

@@ -34,6 +34,11 @@ type traceRing struct {
 
 	pHead      uint64 // producer-local mirror of head
 	cachedTail uint64 // producer's last-seen tail
+
+	// Observability (producer-owned). stalls counts full-ring waits;
+	// onStall, when set, is invoked once per wait with the new total.
+	stalls  uint64
+	onStall func(n uint64)
 }
 
 func newTraceRing(n int) *traceRing {
@@ -60,6 +65,10 @@ func (r *traceRing) push(rec *traceRec) {
 // consumer is pure computation (no I/O), so a brief spin usually
 // suffices; beyond that the producer yields rather than burn a core.
 func (r *traceRing) waitSpace() {
+	r.stalls++
+	if r.onStall != nil {
+		r.onStall(r.stalls)
+	}
 	for spins := 0; ; spins++ {
 		r.cachedTail = r.tail.Load()
 		if r.pHead-r.cachedTail < uint64(len(r.buf)) {
@@ -114,4 +123,10 @@ func (r *traceRing) consume(fn func(*traceRec)) {
 // the producer published.
 func (r *traceRing) drained() bool {
 	return r.tail.Load() == r.pHead
+}
+
+// pending returns the producer-side view of how many published records
+// the consumer has not yet applied.
+func (r *traceRing) pending() uint64 {
+	return r.pHead - r.tail.Load()
 }

@@ -57,6 +57,10 @@ type VM struct {
 	pipeDone   chan struct{}
 	pipelining bool
 
+	// Observability (nil when disabled; see obs.go). Producer-owned:
+	// every emission site runs on the producer side of the pipeline.
+	obs *vmObs
+
 	// Consumer state: the timing engine above plus everything below.
 	xlt        *hwassist.XLTUnit
 	dmd        *hwassist.DualModeDecoder
@@ -202,6 +206,9 @@ func (v *VM) snapshot() Sample {
 func (v *VM) Run(maxInstrs uint64) (*Result, error) {
 	pipelined := v.Cfg.Pipeline && runtime.GOMAXPROCS(0) > 1 &&
 		!v.halted && v.instrs < maxInstrs
+	if v.obs != nil {
+		v.obsRunStart(maxInstrs)
+	}
 	if pipelined {
 		v.startPipeline()
 	}
@@ -229,6 +236,9 @@ func (v *VM) Run(maxInstrs uint64) (*Result, error) {
 	v.res.XltInvocations = v.xlt.Invocations
 	v.res.XltBusyCycles = v.xlt.BusyCycles
 	v.res.Samples = append(v.res.Samples, v.snapshot())
+	if v.obs != nil {
+		v.obsRunEnd()
+	}
 	return &v.res, nil
 }
 
@@ -275,11 +285,17 @@ func (v *VM) dispatch() (*codecache.Translation, Category, error) {
 			}
 			v.jtlb.Insert(v.pc, t)
 		}
+		if v.obs != nil {
+			v.obsJTLB()
+		}
 		// Chain the previous direct exit to the found translation.
 		if v.prevT != nil && !v.prevT.Shadow && !t.Shadow {
 			e := &v.prevT.Exits[v.prevExit]
 			if e.Kind == codecache.ExitFall || e.Kind == codecache.ExitTaken || e.Kind == codecache.ExitSide {
 				v.cacheOf(t).Chain(v.prevT, v.prevExit, t)
+				if v.obs != nil {
+					v.obsChain(v.prevT, t)
+				}
 			}
 		}
 	}
@@ -370,9 +386,12 @@ func (v *VM) jtlbValid(c *codecache.Translation) bool {
 // state is reused.
 func (v *VM) shadowPut(pc uint32, t *codecache.Translation) {
 	if epc, evicted := v.shadow.put(pc, t); evicted {
-		v.drainPipeline()
+		v.drainPipeline(drainShadowEvict)
 		v.res.ShadowEvictions++
 		v.jtlb.Evict(epc)
+		if v.obs != nil {
+			v.obsShadowEvict(epc)
+		}
 	}
 }
 
@@ -475,6 +494,9 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 	}
 	v.res.BBTTranslations++
 	v.res.BBTX86Translated += uint64(t.NumX86)
+	if v.obs != nil {
+		v.obsBBTTranslate(t)
+	}
 	return t, nil
 }
 
@@ -483,7 +505,7 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 // catches up before the superblock is formed, so the decision and its
 // side effects observe exactly the serial loop's state.
 func (v *VM) formSuperblock(pc uint32) error {
-	v.drainPipeline()
+	v.drainPipeline(drainSBTPromote)
 	cfg := &v.Cfg
 	t, err := sbt.Form(v.Mem, pc, v.edges, cfg.SBT)
 	if err != nil {
@@ -503,11 +525,17 @@ func (v *VM) formSuperblock(pc uint32) error {
 		v.onSBTFlush()
 	}
 	v.emitTouch(t.Addr, uint32(t.Size), true)
+	if v.obs != nil {
+		v.obsSBTPromote(t)
+	}
 
 	// Retire the BBT block (or shadow profile state) it supersedes.
 	if old := v.bbtCache.Lookup(pc); old != nil && !old.Invalid {
 		old.Invalid = true
 		v.invalidated = append(v.invalidated, old)
+		if v.obs != nil {
+			v.obsUnchain(old)
+		}
 	}
 	// Supersede the jump-TLB mapping: the next dispatch of pc must land
 	// in the superblock, never a stale BBT or shadow entry.
@@ -522,20 +550,26 @@ func (v *VM) formSuperblock(pc uint32) error {
 // blocks remain warm in the detector, as with a real software counter
 // table in VMM memory). Flushes are pipeline sync points.
 func (v *VM) onBBTFlush() {
-	v.drainPipeline()
+	v.drainPipeline(drainBBTFlush)
 	v.invalidated = v.invalidated[:0]
+	if v.obs != nil {
+		v.obsFlush(v.bbtCache, 0)
+	}
 }
 
 // onSBTFlush handles a superblock cache flush: superseded BBT blocks
 // become live again and regions must be re-detected before
 // re-optimizing. Flushes are pipeline sync points.
 func (v *VM) onSBTFlush() {
-	v.drainPipeline()
+	v.drainPipeline(drainSBTFlush)
 	for _, t := range v.invalidated {
 		t.Invalid = false
 	}
 	v.invalidated = v.invalidated[:0]
 	v.det = newDetector(&v.Cfg)
+	if v.obs != nil {
+		v.obsFlush(v.sbtCache, 1)
+	}
 }
 
 // execute runs one translation functionally and emits its timing trace:

@@ -1,19 +1,8 @@
-// Package vmm implements the virtual machine monitor: the concealed
-// runtime that orchestrates staged emulation (Fig. 1b of the paper). It
-// owns the code caches, the hotspot detector, the dispatch loop with
-// translation chaining, precise-state callouts for complex instructions,
-// the timing engine, and per-category cycle accounting used by the
-// startup experiments (Figs. 2 and 8-11).
-//
-// The same runtime, parameterized by Strategy, realizes every machine of
-// Table 2: the reference superscalar (pure x86-mode execution), VM.soft
-// (software BBT + SBT), VM.be (XLTx86-assisted BBT + SBT), VM.fe
-// (dual-mode decoders + SBT) and the interpreter-based staged VM of
-// Fig. 2.
 package vmm
 
 import (
 	"codesignvm/internal/bbt"
+	"codesignvm/internal/obs"
 	"codesignvm/internal/profile"
 	"codesignvm/internal/sbt"
 	"codesignvm/internal/timing"
@@ -254,6 +243,12 @@ type Result struct {
 	BBTInstrs    uint64
 	X86Instrs    uint64
 	InterpInstrs uint64
+
+	// Metrics is the run's observability snapshot (obs.go). It is nil
+	// unless a recorder was attached with SetObserver: uninstrumented
+	// runs — including every determinism comparison — see exactly the
+	// pre-observability Result.
+	Metrics obs.Snapshot
 }
 
 // IPC returns the aggregate x86 IPC of the run.

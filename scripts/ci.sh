@@ -25,3 +25,14 @@ GOMAXPROCS=2 go test -race -count=1 -timeout 1800s -run 'Pipeline|RunStore' \
 # rather than in a manual perf run.
 go test -run '^$' -bench 'DispatchHot|BBTTranslate' -benchtime=1x ./internal/vmm/ ./internal/bbt/
 go test -run '^$' -bench 'Fig2' -benchtime=1x .
+
+# Observability gate: the example must build, and the disabled-mode cost
+# contract must hold — TestObsDisabledAllocFree / TestHotPathAllocFree
+# assert zero hot-path allocations with no recorder attached (the
+# deterministic half of the <2% overhead budget; the timing half is the
+# A/B record in EXPERIMENTS.md). The 1x ObsModes smoke keeps the
+# disabled/metrics/jsonl benchmark harness itself from bit-rotting.
+go build -o "${TMPDIR:-/tmp}/obs-example.$$" ./examples/observability
+rm -f "${TMPDIR:-/tmp}/obs-example.$$"
+go test -count=1 -run 'Obs|HotPathAllocFree' ./internal/vmm/ ./internal/obs/
+go test -run '^$' -bench 'ObsModes' -benchtime=1x ./internal/vmm/

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	codesignvm "codesignvm"
+)
+
+// startIntrospection serves the live introspection endpoints on an
+// already-bound listener (bound during flag validation so an occupied
+// port fails before any simulation starts):
+//
+//	/metrics       aggregate metrics, OpenMetrics text (Prometheus)
+//	/runs          sweep progress and per-run state, JSON
+//	/healthz       liveness probe
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// The returned stop function shuts the server down gracefully; the
+// sweep does not wait on it otherwise.
+func startIntrospection(ln net.Listener, o *codesignvm.Observer) (stop func()) {
+	mux := http.NewServeMux()
+	mux.Handle("/", codesignvm.NewIntrospectionHandler(o, map[string]string{
+		"exp":   *expFlag,
+		"scale": fmt.Sprint(*scaleFlag),
+	}))
+	// net/http/pprof registers only on http.DefaultServeMux; mount its
+	// handlers explicitly so this private mux serves them too.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "vmsim: -http:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "vmsim: introspection server on http://%s\n", ln.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}
+}

@@ -17,7 +17,10 @@
 // Observability (see OBSERVABILITY.md):
 //
 //	vmsim -exp fig2 -metrics table           # aggregate metric table
-//	vmsim -exp run -events trace.jsonl       # JSONL lifecycle events
+//	vmsim -exp run -events events.jsonl      # JSONL lifecycle events
+//	vmsim -exp run -trace run.trace.json     # Chrome trace (Perfetto)
+//	vmsim -exp run -timeline tl.csv          # interval-sampled timelines
+//	vmsim -exp sweep -http 127.0.0.1:890     # live introspection server
 //	vmsim -exp sweep -progress 10s           # periodic progress line
 //
 // Host-side profiling (see README.md):
@@ -29,7 +32,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
@@ -52,13 +57,18 @@ var (
 	freshFlag  = flag.Bool("fresh", false, "disable the simulation-result caches (in-process memoization and -store reads)")
 	storeFlag  = flag.String("store", "", "directory for the persistent cross-process run store (empty: disabled)")
 
-	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	gotraceFile = flag.String("gotrace", "", "write a Go runtime execution trace to this file")
 
 	metricsFlag  = flag.String("metrics", "", "print aggregate observability metrics on exit: \"table\" or \"json\"")
 	eventsFlag   = flag.String("events", "", "write the VM lifecycle-event trace to this file (JSON Lines)")
-	progressFlag = flag.Duration("progress", 0, "print a progress line to stderr at this interval during sweeps (0: disabled)")
+	traceFlag    = flag.String("trace", "", "write the lifecycle-event stream as Chrome trace-event JSON to this file (view in Perfetto)")
+	timelineFlag = flag.String("timeline", "", "sample per-run startup timelines and write them to this file on exit (.json: JSON, otherwise CSV); implies -fresh")
+	tlInterval   = flag.Float64("timeline-interval", codesignvm.DefaultTimelineInterval, "initial timeline slice width in simulated cycles")
+	tlSlices     = flag.Int("timeline-slices", codesignvm.DefaultTimelineSlices, "max timeline slices per run (full timelines coalesce, doubling the interval)")
+	httpFlag     = flag.String("http", "", "serve live introspection on this address (/metrics /runs /healthz /debug/pprof)")
+	progressFlag = flag.Duration("progress", 0, "print a progress line to stderr at this interval during sweeps (0: disabled; requires a terminal on stderr)")
 )
 
 // obsv is the process observer, non-nil when any observability flag is
@@ -89,29 +99,117 @@ func main() {
 	}
 }
 
-// setupObservability builds the process observer from the -metrics,
-// -events and -progress flags. The returned finish function stops the
-// progress printer, prints the aggregate metrics and flushes the event
-// file; it must run after the experiments complete.
-func setupObservability() (finish func() error, err error) {
-	if *metricsFlag != "" && *metricsFlag != "table" && *metricsFlag != "json" {
-		return nil, fmt.Errorf("-metrics must be \"table\" or \"json\", got %q", *metricsFlag)
+// multiSink fans one event stream out to several sinks (-events and
+// -trace together).
+type multiSink []codesignvm.EventSink
+
+func (m multiSink) Emit(e codesignvm.Event) {
+	for _, s := range m {
+		s.Emit(e)
 	}
-	if *metricsFlag == "" && *eventsFlag == "" && *progressFlag <= 0 {
+}
+
+// validateObsFlags checks the observability flag set up front, so a bad
+// combination fails with one clear line before any simulation starts,
+// never mid-sweep. Output files are created here (catching unwritable
+// paths), and the -http listener is bound here (catching occupied
+// ports).
+func validateObsFlags() (files map[string]*os.File, ln net.Listener, err error) {
+	fail := func(format string, args ...any) (map[string]*os.File, net.Listener, error) {
+		for _, f := range files {
+			f.Close()
+		}
+		if ln != nil {
+			ln.Close()
+		}
+		return nil, nil, fmt.Errorf(format, args...)
+	}
+	if *metricsFlag != "" && *metricsFlag != "table" && *metricsFlag != "json" {
+		return fail("-metrics must be \"table\" or \"json\", got %q", *metricsFlag)
+	}
+	if *tlInterval <= 0 {
+		return fail("-timeline-interval must be positive, got %g", *tlInterval)
+	}
+	if *tlSlices < 2 {
+		return fail("-timeline-slices must be at least 2, got %d", *tlSlices)
+	}
+	if *progressFlag > 0 {
+		if fi, serr := os.Stderr.Stat(); serr == nil && fi.Mode()&os.ModeCharDevice == 0 {
+			return fail("-progress needs a terminal on stderr (it rewrites a status line); use -http %s for live introspection instead", "ADDR")
+		}
+	}
+	files = map[string]*os.File{}
+	for _, out := range []struct{ flag, path string }{
+		{"-events", *eventsFlag}, {"-trace", *traceFlag}, {"-timeline", *timelineFlag},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, cerr := os.Create(out.path)
+		if cerr != nil {
+			return fail("%s: %v", out.flag, cerr)
+		}
+		files[out.flag] = f
+	}
+	if *httpFlag != "" {
+		ln, err = net.Listen("tcp", *httpFlag)
+		if err != nil {
+			return fail("-http %s: %v", *httpFlag, err)
+		}
+	}
+	return files, ln, nil
+}
+
+// setupObservability builds the process observer from the -metrics,
+// -events, -trace, -timeline, -http and -progress flags. The returned
+// finish function stops the progress printer, prints the aggregate
+// metrics, flushes the event and trace files and writes the timeline
+// export; it must run after the experiments complete.
+func setupObservability() (finish func() error, err error) {
+	files, ln, err := validateObsFlags()
+	if err != nil {
+		return nil, err
+	}
+	if *metricsFlag == "" && *progressFlag <= 0 && len(files) == 0 && ln == nil {
 		return func() error { return nil }, nil
 	}
-	var sink codesignvm.EventSink
+
+	var sinks multiSink
 	var jsonl *codesignvm.JSONLSink
-	var f *os.File
-	if *eventsFlag != "" {
-		f, err = os.Create(*eventsFlag)
-		if err != nil {
-			return nil, err
-		}
+	var tracer *codesignvm.TraceSink
+	if f := files["-events"]; f != nil {
 		jsonl = codesignvm.NewJSONLSink(f)
-		sink = jsonl
+		sinks = append(sinks, jsonl)
+	}
+	if f := files["-trace"]; f != nil {
+		tracer = codesignvm.NewTraceSink(f)
+		sinks = append(sinks, tracer)
+	}
+	var sink codesignvm.EventSink
+	switch len(sinks) {
+	case 0:
+	case 1:
+		sink = sinks[0]
+	default:
+		sink = sinks
 	}
 	obsv = codesignvm.NewObserver(sink)
+	if *timelineFlag != "" {
+		obsv.EnableTimeline(codesignvm.TimelineSpec{
+			IntervalCycles: *tlInterval,
+			MaxSlices:      *tlSlices,
+		})
+		// Cached and store-loaded results carry no timeline — only a
+		// fresh simulation samples one — so -timeline forces -fresh
+		// (options() honors this); store writes still happen.
+		if !*freshFlag {
+			fmt.Fprintln(os.Stderr, "vmsim: -timeline implies -fresh (only fresh simulations sample a timeline)")
+		}
+	}
+	stopHTTP := func() {}
+	if ln != nil {
+		stopHTTP = startIntrospection(ln, obsv)
+	}
 	stopProgress := func() {}
 	if *progressFlag > 0 {
 		stopProgress = startProgress(obsv, *progressFlag)
@@ -126,20 +224,41 @@ func setupObservability() (finish func() error, err error) {
 			fmt.Printf("observability metrics (aggregate over %d runs):\n", obsv.RunCount())
 			obsv.Aggregate().Format(os.Stdout)
 		}
-		if jsonl != nil {
-			if err := jsonl.Flush(); err != nil {
-				return err
+		var firstErr error
+		keep := func(err error) {
+			if firstErr == nil {
+				firstErr = err
 			}
-			fmt.Fprintf(os.Stderr, "vmsim: wrote %d events to %s\n", obsv.EventsEmitted(), *eventsFlag)
-			return f.Close()
 		}
-		return nil
+		if jsonl != nil {
+			keep(jsonl.Flush())
+			fmt.Fprintf(os.Stderr, "vmsim: wrote %d events to %s\n", obsv.EventsEmitted(), *eventsFlag)
+			keep(files["-events"].Close())
+		}
+		if tracer != nil {
+			keep(tracer.Flush())
+			fmt.Fprintf(os.Stderr, "vmsim: wrote Chrome trace to %s (open in ui.perfetto.dev)\n", *traceFlag)
+			keep(files["-trace"].Close())
+		}
+		if f := files["-timeline"]; f != nil {
+			runs := obsv.Runs()
+			if strings.EqualFold(filepath.Ext(*timelineFlag), ".json") {
+				keep(codesignvm.WriteTimelinesJSON(f, runs))
+			} else {
+				keep(codesignvm.WriteTimelinesCSV(f, runs))
+			}
+			fmt.Fprintf(os.Stderr, "vmsim: wrote %d run timelines to %s\n", len(runs), *timelineFlag)
+			keep(f.Close())
+		}
+		stopHTTP()
+		return firstErr
 	}, nil
 }
 
 // startProgress prints a periodic sweep-progress line to stderr. It
-// reads only atomic process counters and the global event sequence, so
-// it is safe against the concurrently running experiment grid.
+// reads only atomic process counters, the global event sequence and the
+// (mutex-guarded) timeline tails, so it is safe against the
+// concurrently running experiment grid.
 func startProgress(o *codesignvm.Observer, every time.Duration) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -149,18 +268,27 @@ func startProgress(o *codesignvm.Observer, every time.Duration) (stop func()) {
 		t := time.NewTicker(every)
 		defer t.Stop()
 		start := time.Now()
+		lastEvents := uint64(0)
+		lastTick := start
 		for {
 			select {
 			case <-done:
 				return
-			case <-t.C:
-				fmt.Fprintf(os.Stderr, "[vmsim +%s] runs %d/%d done, store %d hit / %d miss, %d events\n",
+			case now := <-t.C:
+				events := o.EventsEmitted()
+				rate := float64(events-lastEvents) / now.Sub(lastTick).Seconds()
+				lastEvents, lastTick = events, now
+				line := fmt.Sprintf("[vmsim +%s] runs %d/%d done, store %d hit / %d miss, %d events (%.0f ev/s)",
 					time.Since(start).Round(time.Second),
 					o.Proc.Counter("runs.done", "runs").Value(),
 					o.Proc.Counter("runs.started", "runs").Value(),
 					o.Proc.Counter("store.hits", "loads").Value(),
 					o.Proc.Counter("store.misses", "loads").Value(),
-					o.EventsEmitted())
+					events, rate)
+				if ipc, ok := o.LiveIntervalIPC(); ok {
+					line += fmt.Sprintf(", interval IPC %.3f", ipc)
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 	}()
@@ -191,8 +319,8 @@ func startProfiling() (stop func(), err error) {
 			f.Close()
 		})
 	}
-	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+	if *gotraceFile != "" {
+		f, err := os.Create(*gotraceFile)
 		if err != nil {
 			stop()
 			return func() {}, err
@@ -230,7 +358,7 @@ func options() codesignvm.Options {
 		Scale:      *scaleFlag,
 		Sequential: *seqFlag,
 		NoPipeline: !*pipeFlag,
-		FreshRuns:  *freshFlag,
+		FreshRuns:  *freshFlag || *timelineFlag != "",
 		Store:      *storeFlag,
 		Obs:        obsv,
 	}

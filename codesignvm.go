@@ -36,6 +36,7 @@ package codesignvm
 
 import (
 	"io"
+	"net/http"
 
 	"codesignvm/internal/experiments"
 	"codesignvm/internal/machine"
@@ -172,6 +173,24 @@ type (
 	JSONLSink = obs.JSONLSink
 	// CollectSink captures events in memory (tests, tooling).
 	CollectSink = obs.CollectSink
+	// TraceSink renders the event stream as Chrome trace-event JSON
+	// viewable in Perfetto; call Flush when done.
+	TraceSink = obs.TraceSink
+	// TimelineSpec configures interval sampling (Observer.EnableTimeline).
+	TimelineSpec = obs.TimelineSpec
+	// Timeline is one run's allocation-bounded sequence of interval
+	// snapshots (Recorder.Timeline).
+	Timeline = obs.Timeline
+	// TimeSlice is one cumulative timeline snapshot.
+	TimeSlice = obs.TimeSlice
+	// TimelineRow is one exported per-interval timeline row.
+	TimelineRow = obs.TimelineRow
+)
+
+// Timeline sampling defaults (TimelineSpec zero values select these).
+const (
+	DefaultTimelineInterval = obs.DefaultTimelineInterval
+	DefaultTimelineSlices   = obs.DefaultTimelineSlices
 )
 
 // NewObserver returns an observer emitting to sink (nil sink: metrics
@@ -184,6 +203,31 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
 
 // NewCollectSink returns an in-memory event sink.
 func NewCollectSink() *CollectSink { return obs.NewCollectSink() }
+
+// NewTraceSink returns an event sink writing one Chrome trace-event
+// JSON document to w (load in ui.perfetto.dev or chrome://tracing);
+// call Flush when done — the output is valid JSON only after Flush.
+func NewTraceSink(w io.Writer) *TraceSink { return obs.NewTraceSink(w) }
+
+// WriteTimelinesCSV renders the timelines of the given runs (skipping
+// runs without one) as one CSV table; see OBSERVABILITY.md for the
+// column reference.
+func WriteTimelinesCSV(w io.Writer, runs []*Recorder) error {
+	return obs.WriteTimelinesCSV(w, runs)
+}
+
+// WriteTimelinesJSON renders the same timelines as JSON.
+func WriteTimelinesJSON(w io.Writer, runs []*Recorder) error {
+	return obs.WriteTimelinesJSON(w, runs)
+}
+
+// NewIntrospectionHandler returns an http.Handler serving the
+// observer's live introspection endpoints (/metrics OpenMetrics text,
+// /runs JSON, /healthz); info is attached to the /runs response. This
+// is what vmsim -http mounts (plus net/http/pprof).
+func NewIntrospectionHandler(o *Observer, info map[string]string) http.Handler {
+	return obs.NewHTTPHandler(o, info)
+}
 
 // RunConfigObserved simulates with an observability recorder attached:
 // events flow to the recorder's sink during the run and the Result

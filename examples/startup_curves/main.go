@@ -1,21 +1,26 @@
 // startup_curves regenerates the paper's headline figures (Fig. 2 and
 // Fig. 8): normalized aggregate-IPC startup curves for all machine
-// configurations, printed as CSV suitable for plotting.
+// configurations, printed as CSV suitable for plotting. With -timeline
+// it also samples a fine-grained per-run timeline (per-interval IPC and
+// instruction mix by translation stage) and writes it alongside.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 
 	codesignvm "codesignvm"
 )
 
 var (
-	scale = flag.Int("scale", 50, "workload scale divisor")
-	apps  = flag.String("apps", "Word,Excel,Winzip", "benchmarks to average over")
-	csv   = flag.Bool("csv", false, "emit raw CSV instead of tables")
+	scale    = flag.Int("scale", 50, "workload scale divisor")
+	apps     = flag.String("apps", "Word,Excel,Winzip", "benchmarks to average over")
+	csv      = flag.Bool("csv", false, "emit raw CSV instead of tables")
+	timeline = flag.String("timeline", "", "also write interval-sampled per-run timelines to this file (.json: JSON, otherwise CSV)")
 )
 
 func main() {
@@ -23,6 +28,15 @@ func main() {
 	opt := codesignvm.Options{Scale: *scale}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
+	}
+	var obs *codesignvm.Observer
+	if *timeline != "" {
+		// Timelines are sampled only by fresh simulations, so disable
+		// the in-process result cache for this run.
+		obs = codesignvm.NewObserver(nil)
+		obs.EnableTimeline(codesignvm.TimelineSpec{})
+		opt.Obs = obs
+		opt.FreshRuns = true
 	}
 
 	fig2, err := codesignvm.Figure2(opt)
@@ -34,6 +48,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *timeline != "" {
+		if err := writeTimelines(obs, *timeline); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *csv {
 		emitCSV("fig2", fig2)
 		emitCSV("fig8", fig8)
@@ -46,6 +65,25 @@ func main() {
 	fmt.Println("normalized to the reference superscalar's steady-state IPC. VM.fe")
 	fmt.Println("tracks Ref almost exactly; VM.be lags briefly; software BBT and")
 	fmt.Println("especially interpretation (Fig. 2) pay long startup transients.")
+}
+
+func writeTimelines(obs *codesignvm.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runs := obs.Runs()
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		err = codesignvm.WriteTimelinesJSON(f, runs)
+	} else {
+		err = codesignvm.WriteTimelinesCSV(f, runs)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d run timelines to %s\n", len(runs), path)
+	return f.Close()
 }
 
 func emitCSV(name string, s *codesignvm.StartupCurves) {

@@ -91,8 +91,17 @@ func (k EventKind) String() string {
 // the kind constants); Tag identifies the emitting run ("model/app").
 // Events are plain values — sinks receive them by value and emission
 // allocates nothing beyond what the sink itself does.
+//
+// T is the emitting run's own clock: the producer's retired-x86-
+// instruction count at emission. Instructions, not cycles, because
+// every VM emission site is on the functional (producer) side of the
+// execute/timing pipeline, where the cycle count does not exist yet —
+// and the instruction clock is identical between the sequential and
+// pipelined modes, so timestamps preserve the cross-mode determinism
+// contract. Process-level events (store hits/misses) carry T = 0.
 type Event struct {
 	Seq  uint64
+	T    uint64
 	Kind EventKind
 	Tag  string
 	PC   uint32
@@ -158,6 +167,8 @@ func (s *JSONLSink) Emit(e Event) {
 	b := s.buf[:0]
 	b = append(b, `{"seq":`...)
 	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendUint(b, e.T, 10)
 	b = append(b, `,"ev":`...)
 	b = strconv.AppendQuote(b, info.name)
 	if e.Tag != "" {
@@ -209,8 +220,10 @@ type Observer struct {
 	// them while a sweep runs.
 	Proc *Registry
 
-	mu   sync.Mutex
-	runs []*Recorder
+	mu     sync.Mutex
+	runs   []*Recorder
+	tlSpec TimelineSpec
+	tlOn   bool
 }
 
 // NewObserver returns an observer emitting to sink (nil: metrics only,
@@ -240,18 +253,78 @@ func (o *Observer) Emit(k EventKind, tag string, pc uint32, a, b, c uint64) {
 	o.sink.Emit(Event{Seq: o.seq.Add(1), Kind: k, Tag: tag, PC: pc, A: a, B: b, C: c})
 }
 
+// EnableTimeline turns on interval sampling: every Recorder minted by
+// a subsequent NewRun carries a Timeline with this spec, and any VM the
+// recorder is attached to samples into it. No-op on a nil observer.
+// Call before the sweep starts; already-minted recorders are unchanged.
+func (o *Observer) EnableTimeline(spec TimelineSpec) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.tlSpec = spec.withDefaults()
+	o.tlOn = true
+	o.mu.Unlock()
+}
+
+// TimelineEnabled reports whether EnableTimeline has been called.
+func (o *Observer) TimelineEnabled() bool {
+	if o == nil {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tlOn
+}
+
 // NewRun mints the per-run Recorder for one simulation: a fresh
 // Registry (whose end-of-run Snapshot rides on the run's Result) plus
-// the shared sink and sequence. Returns nil on a nil observer.
+// the shared sink and sequence — and, when EnableTimeline has been
+// called, a fresh Timeline. Returns nil on a nil observer.
 func (o *Observer) NewRun(tag string) *Recorder {
 	if o == nil {
 		return nil
 	}
 	r := &Recorder{Reg: NewRegistry(), obs: o, tag: tag}
 	o.mu.Lock()
+	if o.tlOn {
+		r.timeline = NewTimeline(o.tlSpec)
+	}
 	o.runs = append(o.runs, r)
 	o.mu.Unlock()
 	return r
+}
+
+// Runs returns a copy of every run recorder minted so far, in minting
+// order (the timeline exporters and the /runs endpoint iterate it).
+func (o *Observer) Runs() []*Recorder {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Recorder(nil), o.runs...)
+}
+
+// LiveIntervalIPC returns the most recently completed interval's IPC
+// across all sampling runs — the newest run with two timeline slices
+// wins. Used by live reporting (progress heartbeat, /runs); returns
+// false when no run has sampled two slices yet.
+func (o *Observer) LiveIntervalIPC() (float64, bool) {
+	if o == nil {
+		return 0, false
+	}
+	o.mu.Lock()
+	runs := append([]*Recorder(nil), o.runs...)
+	o.mu.Unlock()
+	for i := len(runs) - 1; i >= 0; i-- {
+		if tl := runs[i].Timeline(); tl != nil {
+			if ipc, ok := tl.LastIntervalIPC(); ok {
+				return ipc, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // Aggregate merges the snapshots of every run recorder minted so far
@@ -289,8 +362,9 @@ type Recorder struct {
 	// the run's Result (and persisted in the run store).
 	Reg *Registry
 
-	obs *Observer
-	tag string
+	obs      *Observer
+	tag      string
+	timeline *Timeline // nil unless the observer enabled sampling
 }
 
 // NewRecorder returns a standalone recorder (own registry, events to
@@ -307,11 +381,31 @@ func (r *Recorder) Tag() string {
 	return r.tag
 }
 
-// Emit issues one lifecycle event for this run. No-op on a nil
-// recorder or when the observer has no sink.
+// Timeline returns the run's interval-sampling timeline, or nil when
+// the observer did not enable sampling (or on a nil recorder).
+func (r *Recorder) Timeline() *Timeline {
+	if r == nil {
+		return nil
+	}
+	return r.timeline
+}
+
+// Emit issues one lifecycle event for this run with no timestamp.
+// No-op on a nil recorder or when the observer has no sink.
 func (r *Recorder) Emit(k EventKind, pc uint32, a, b, c uint64) {
+	r.EmitAt(k, pc, 0, a, b, c)
+}
+
+// EmitAt issues one lifecycle event stamped with the run's own clock t
+// (retired x86 instructions at emission; see Event.T). No-op on a nil
+// recorder or when the observer has no sink.
+func (r *Recorder) EmitAt(k EventKind, pc uint32, t, a, b, c uint64) {
 	if r == nil {
 		return
 	}
-	r.obs.Emit(k, r.tag, pc, a, b, c)
+	o := r.obs
+	if o == nil || o.sink == nil {
+		return
+	}
+	o.sink.Emit(Event{Seq: o.seq.Add(1), T: t, Kind: k, Tag: r.tag, PC: pc, A: a, B: b, C: c})
 }

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Live introspection over HTTP: a handler exposing the observer's
+// aggregate metrics as OpenMetrics text (/metrics), the run set and
+// sweep progress as JSON (/runs), and a liveness probe (/healthz).
+// cmd/vmsim mounts it (plus net/http/pprof) under -http; it is also
+// embeddable by any program driving the simulator as a library
+// (codesignvm.NewIntrospectionHandler). Everything served is read live
+// while the sweep runs — every underlying read (registry snapshots,
+// timeline slices) is already safe against concurrent simulation.
+
+// RunStatus is one run's entry in the /runs response.
+type RunStatus struct {
+	Tag string `json:"tag"`
+	// Instrs/Cycles/IPC are the run's progress: live from the newest
+	// timeline slice while sampling, else the run-end mirrors (zero
+	// until the run completes).
+	Instrs uint64  `json:"instrs"`
+	Cycles float64 `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+	// IntervalIPC is the most recent completed sampling interval's IPC
+	// (omitted without a timeline).
+	IntervalIPC    float64 `json:"interval_ipc,omitempty"`
+	TimelineSlices int     `json:"timeline_slices,omitempty"`
+}
+
+// RunsStatus is the /runs response shape.
+type RunsStatus struct {
+	// Info carries caller-provided context (experiment name, scale,
+	// store path, …).
+	Info map[string]string `json:"info,omitempty"`
+	// Sweep progress, from the observer's process-level counters.
+	RunsStarted uint64      `json:"runs_started"`
+	RunsDone    uint64      `json:"runs_done"`
+	StoreHits   uint64      `json:"store_hits"`
+	StoreMisses uint64      `json:"store_misses"`
+	Events      uint64      `json:"events"`
+	Runs        []RunStatus `json:"runs"`
+}
+
+// Status assembles the current /runs view of the observer.
+func (o *Observer) Status(info map[string]string) RunsStatus {
+	st := RunsStatus{Info: info, Runs: []RunStatus{}}
+	if o == nil {
+		return st
+	}
+	st.Events = o.EventsEmitted()
+	proc := o.Proc.Snapshot()
+	for name, dst := range map[string]*uint64{
+		"runs.started": &st.RunsStarted,
+		"runs.done":    &st.RunsDone,
+		"store.hits":   &st.StoreHits,
+		"store.misses": &st.StoreMisses,
+	} {
+		if m, ok := proc.Get(name); ok {
+			*dst = uint64(m.Value)
+		}
+	}
+	for _, r := range o.Runs() {
+		rs := RunStatus{Tag: r.Tag()}
+		snap := r.Reg.Snapshot()
+		if m, ok := snap.Get("vm.run.instrs"); ok {
+			rs.Instrs = uint64(m.Value)
+		}
+		if m, ok := snap.Get("vm.run.cycles"); ok {
+			rs.Cycles = m.Value
+		}
+		if tl := r.Timeline(); tl != nil {
+			rs.TimelineSlices = tl.Len()
+			if slices := tl.Slices(); len(slices) > 0 {
+				last := slices[len(slices)-1]
+				if last.Instrs > rs.Instrs {
+					rs.Instrs, rs.Cycles = last.Instrs, last.EndCycles
+				}
+			}
+			if ipc, ok := tl.LastIntervalIPC(); ok {
+				rs.IntervalIPC = ipc
+			}
+		}
+		if rs.Cycles > 0 {
+			rs.IPC = float64(rs.Instrs) / rs.Cycles
+		}
+		st.Runs = append(st.Runs, rs)
+	}
+	return st
+}
+
+// NewHTTPHandler returns a mux serving the observer's live
+// introspection endpoints:
+//
+//	/metrics  aggregate registry (process counters merged with every
+//	          run's metrics) as OpenMetrics text
+//	/runs     RunsStatus JSON: sweep progress plus per-run state
+//	/healthz  liveness probe ("ok")
+//
+// info is attached verbatim to the /runs response. A nil observer
+// serves empty (but well-formed) responses, so the server can start
+// before the sweep wires its observer.
+func NewHTTPHandler(o *Observer, info map[string]string) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		var snap Snapshot
+		if o != nil {
+			snap = Merge(o.Proc.Snapshot(), o.Aggregate())
+		}
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		snap.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(o.Status(info))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

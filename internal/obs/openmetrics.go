@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// OpenMetrics / Prometheus text exposition of a Snapshot, served by the
+// live introspection endpoint (/metrics; see http.go) and consumable by
+// any Prometheus-compatible scraper.
+
+// OpenMetricsContentType is the content type of WriteOpenMetrics
+// output.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// openMetricsName maps a registry metric name to a valid exposition
+// metric name: prefixed with codesignvm_, with the '.'/'-' separators
+// the registry uses mapped to '_'.
+func openMetricsName(name string) string {
+	var b strings.Builder
+	b.Grow(len("codesignvm_") + len(name))
+	b.WriteString("codesignvm_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteOpenMetrics renders the snapshot as OpenMetrics text exposition:
+// every metric prefixed codesignvm_ with TYPE/UNIT-free metadata kept
+// minimal (# TYPE plus # HELP carrying the registry unit), counters
+// suffixed _total, histograms exposed with cumulative _bucket series,
+// _count and _sum, and the terminating # EOF line. Metrics are sorted
+// by name for stable scrapes.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ms := append(Snapshot(nil), s...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	for _, m := range ms {
+		name := openMetricsName(m.Name)
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			if m.Unit != "" {
+				fmt.Fprintf(bw, "# HELP %s %s (%s)\n", name, m.Name, m.Unit)
+			}
+			fmt.Fprintf(bw, "%s_total %.0f\n", name, m.Value)
+		case KindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			if m.Unit != "" {
+				fmt.Fprintf(bw, "# HELP %s %s (%s)\n", name, m.Name, m.Unit)
+			}
+			fmt.Fprintf(bw, "%s %g\n", name, m.Value)
+		case KindHistogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			if m.Unit != "" {
+				fmt.Fprintf(bw, "# HELP %s %s (%s)\n", name, m.Name, m.Unit)
+			}
+			// Snapshot buckets are disjoint; the exposition format wants
+			// cumulative counts with an explicit +Inf bucket.
+			cum := uint64(0)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				if b.Le == InfBound {
+					fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+				} else {
+					fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+				}
+			}
+			if len(m.Buckets) == 0 || m.Buckets[len(m.Buckets)-1].Le != InfBound {
+				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Count)
+			}
+			fmt.Fprintf(bw, "%s_count %d\n", name, m.Count)
+			fmt.Fprintf(bw, "%s_sum %.0f\n", name, m.Value)
+		}
+	}
+	if _, err := bw.WriteString("# EOF\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

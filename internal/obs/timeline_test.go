@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// slice builds a minimal cumulative snapshot for boundary end with n
+// total instructions.
+func slice(end float64, n uint64) TimeSlice {
+	return TimeSlice{EndCycles: end, Instrs: n, BBTInstrs: n}
+}
+
+func TestTimelineSpecDefaults(t *testing.T) {
+	tl := NewTimeline(TimelineSpec{})
+	if got := tl.Interval(); got != DefaultTimelineInterval {
+		t.Fatalf("default interval = %g, want %d", got, DefaultTimelineInterval)
+	}
+	if got := tl.NextBoundary(); got != DefaultTimelineInterval {
+		t.Fatalf("first boundary = %g, want %d", got, DefaultTimelineInterval)
+	}
+	tl = NewTimeline(TimelineSpec{IntervalCycles: 500, MaxSlices: 8})
+	if got := tl.Interval(); got != 500 {
+		t.Fatalf("interval = %g, want 500", got)
+	}
+}
+
+func TestTimelineAppendAdvancesBoundary(t *testing.T) {
+	tl := NewTimeline(TimelineSpec{IntervalCycles: 100, MaxSlices: 8})
+	next := tl.Append(slice(100, 10))
+	if next != 200 {
+		t.Fatalf("next boundary after first append = %g, want 200", next)
+	}
+	// A block overshooting the boundary still stamps the nominal grid
+	// point; the following boundary is nominal+interval.
+	next = tl.Append(slice(200, 25))
+	if next != 300 {
+		t.Fatalf("next boundary = %g, want 300", next)
+	}
+	if tl.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tl.Len())
+	}
+}
+
+// TestTimelineCoalesce fills a timeline past capacity and checks the
+// pair-collapse: capacity never exceeded, interval doubled, and the
+// surviving slices are the pair-end (even-boundary) snapshots with
+// cumulative values intact.
+func TestTimelineCoalesce(t *testing.T) {
+	tl := NewTimeline(TimelineSpec{IntervalCycles: 10, MaxSlices: 4})
+	for i := 1; i <= 4; i++ {
+		tl.Append(slice(float64(10*i), uint64(100*i)))
+	}
+	if tl.Interval() != 10 {
+		t.Fatalf("interval before overflow = %g, want 10", tl.Interval())
+	}
+	// The 5th append first collapses {10,20,30,40} -> {20,40}.
+	next := tl.Append(slice(50, 500))
+	if tl.Interval() != 20 {
+		t.Fatalf("interval after coalesce = %g, want 20", tl.Interval())
+	}
+	if next != 70 {
+		t.Fatalf("next boundary = %g, want 50+20=70", next)
+	}
+	got := tl.Slices()
+	wantEnds := []float64{20, 40, 50}
+	if len(got) != len(wantEnds) {
+		t.Fatalf("len = %d, want %d", len(got), len(wantEnds))
+	}
+	for i, w := range wantEnds {
+		if got[i].EndCycles != w {
+			t.Fatalf("slice %d ends at %g, want %g", i, got[i].EndCycles, w)
+		}
+	}
+	if got[0].Instrs != 200 || got[1].Instrs != 400 {
+		t.Fatalf("coalesced slices lost cumulative values: %+v", got[:2])
+	}
+	// Long-run invariant: length never exceeds capacity.
+	for i := 6; i < 200; i++ {
+		tl.Append(slice(float64(10*i), uint64(100*i)))
+		if tl.Len() > 4 {
+			t.Fatalf("timeline exceeded capacity: %d", tl.Len())
+		}
+	}
+}
+
+func TestTimelineAppendFinal(t *testing.T) {
+	tl := NewTimeline(TimelineSpec{IntervalCycles: 100, MaxSlices: 8})
+	tl.Append(slice(100, 10))
+	// Run ends mid-interval: partial slice recorded, boundary clock
+	// untouched (a later Run on the same VM resumes the grid).
+	tl.AppendFinal(slice(140, 14))
+	if tl.Len() != 2 || tl.NextBoundary() != 200 {
+		t.Fatalf("len=%d next=%g, want 2/200", tl.Len(), tl.NextBoundary())
+	}
+	// Duplicate or non-advancing final slices are dropped.
+	tl.AppendFinal(slice(140, 14))
+	tl.AppendFinal(slice(120, 12))
+	if tl.Len() != 2 {
+		t.Fatalf("duplicate final slice recorded: len=%d", tl.Len())
+	}
+}
+
+func TestTimelineLastIntervalIPC(t *testing.T) {
+	tl := NewTimeline(TimelineSpec{IntervalCycles: 100, MaxSlices: 8})
+	if _, ok := tl.LastIntervalIPC(); ok {
+		t.Fatal("IPC reported with no slices")
+	}
+	tl.Append(slice(100, 50))
+	if _, ok := tl.LastIntervalIPC(); ok {
+		t.Fatal("IPC reported with one slice")
+	}
+	tl.Append(slice(200, 250))
+	ipc, ok := tl.LastIntervalIPC()
+	if !ok || ipc != 2.0 {
+		t.Fatalf("interval IPC = %g,%v, want 2,true", ipc, ok)
+	}
+}
+
+func TestTimelineRows(t *testing.T) {
+	tl := NewTimeline(TimelineSpec{IntervalCycles: 100, MaxSlices: 8})
+	tl.Append(TimeSlice{EndCycles: 100, Instrs: 50, InterpInstrs: 50, VMMCycles: 10, BBTUsed: 64})
+	tl.Append(TimeSlice{EndCycles: 200, Instrs: 250, InterpInstrs: 50, BBTInstrs: 200, VMMCycles: 15, BBTUsed: 96})
+	rows := tl.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	r := rows[1]
+	if r.Cycles != 100 || r.Instrs != 200 || r.IPC != 2.0 || r.AggIPC != 1.25 {
+		t.Fatalf("derived row wrong: %+v", r)
+	}
+	if r.InterpInstrs != 0 || r.BBTInstrs != 200 || r.VMMCycles != 5 {
+		t.Fatalf("per-interval deltas wrong: %+v", r)
+	}
+	if r.BBTUsed != 96 {
+		t.Fatalf("gauge column must be point-in-time, got %d", r.BBTUsed)
+	}
+}
+
+func TestWriteTimelines(t *testing.T) {
+	o := NewObserver(nil)
+	o.EnableTimeline(TimelineSpec{IntervalCycles: 100, MaxSlices: 8})
+	r1 := o.NewRun("m/a")
+	r1.Timeline().Append(slice(100, 120))
+	r1.Timeline().Append(slice(200, 300))
+	r2 := o.NewRun("m/b") // timeline left empty: still exported (no rows)
+
+	var csv bytes.Buffer
+	if err := WriteTimelinesCSV(&csv, o.Runs()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header+2:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != timelineCSVHeader {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "m/a,0,100,100,120,1.2,1.2,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+
+	var js bytes.Buffer
+	if err := WriteTimelinesJSON(&js, o.Runs()); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Tag      string          `json:"tag"`
+		Interval float64         `json:"interval_cycles"`
+		Rows     []TimelineRow   `json:"intervals"`
+		Extra    json.RawMessage `json:"-"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &out); err != nil {
+		t.Fatalf("JSON export invalid: %v", err)
+	}
+	if len(out) != 2 || out[0].Tag != "m/a" || len(out[0].Rows) != 2 || out[0].Interval != 100 {
+		t.Fatalf("JSON export shape wrong: %+v", out)
+	}
+	_ = r2
+}
+
+// TestObserverTimelinePlumbing: EnableTimeline affects only recorders
+// minted afterwards, and LiveIntervalIPC surfaces the newest sampling
+// run.
+func TestObserverTimelinePlumbing(t *testing.T) {
+	o := NewObserver(nil)
+	before := o.NewRun("before")
+	if o.TimelineEnabled() {
+		t.Fatal("timeline enabled before EnableTimeline")
+	}
+	o.EnableTimeline(TimelineSpec{IntervalCycles: 100, MaxSlices: 8})
+	if !o.TimelineEnabled() {
+		t.Fatal("TimelineEnabled false after EnableTimeline")
+	}
+	if before.Timeline() != nil {
+		t.Fatal("pre-enable recorder grew a timeline")
+	}
+	if _, ok := o.LiveIntervalIPC(); ok {
+		t.Fatal("live IPC with no samples")
+	}
+	a := o.NewRun("a")
+	b := o.NewRun("b")
+	a.Timeline().Append(slice(100, 100))
+	a.Timeline().Append(slice(200, 200))
+	b.Timeline().Append(slice(100, 300))
+	b.Timeline().Append(slice(200, 700))
+	if ipc, ok := o.LiveIntervalIPC(); !ok || ipc != 4.0 {
+		t.Fatalf("live IPC = %g,%v, want newest run's 4,true", ipc, ok)
+	}
+	var nilObs *Observer
+	if nilObs.TimelineEnabled() {
+		t.Fatal("nil observer reports timeline enabled")
+	}
+	if _, ok := nilObs.LiveIntervalIPC(); ok {
+		t.Fatal("nil observer reports live IPC")
+	}
+	nilObs.EnableTimeline(TimelineSpec{}) // must not panic
+}

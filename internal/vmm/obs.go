@@ -1,6 +1,8 @@
 package vmm
 
 import (
+	"math"
+
 	"codesignvm/internal/codecache"
 	"codesignvm/internal/obs"
 )
@@ -60,7 +62,20 @@ type vmObs struct {
 // recorder. Call it before Run. The recorder hangs off the VM, never
 // off Config: Config must stay a flat comparable value — it keys the
 // experiment-layer run caches and is hashed for the persistent store.
+//
+// When the recorder carries a Timeline (Observer.EnableTimeline), the
+// interval sampler is armed as well: the producer snapshots code-cache
+// occupancy into the sample records and the timing consumer captures a
+// slice at each interval boundary.
 func (v *VM) SetObserver(rec *obs.Recorder) {
+	v.tl = rec.Timeline()
+	if v.tl != nil {
+		v.tlNext = v.tl.NextBoundary()
+		v.tlArmed = true
+	} else {
+		v.tlNext = math.Inf(1)
+		v.tlArmed = false
+	}
 	if rec == nil {
 		v.obs = nil
 		return
@@ -93,7 +108,7 @@ func (v *VM) Observer() *obs.Recorder {
 }
 
 func (v *VM) obsRunStart(budget uint64) {
-	v.obs.rec.Emit(obs.EvRunStart, 0, budget, 0, 0)
+	v.obs.rec.EmitAt(obs.EvRunStart, 0, v.instrs, budget, 0, 0)
 }
 
 // obsRunEnd mirrors the statistics the simulator already keeps (Result
@@ -122,7 +137,7 @@ func (v *VM) obsRunEnd() {
 		reg.Gauge(p+"used", "bytes").Set(float64(c.cache.Used()))
 		reg.Gauge(p+"live", "translations").Set(float64(c.cache.Len()))
 	}
-	o.rec.Emit(obs.EvRunEnd, 0, v.res.Instrs, uint64(v.res.Cycles), 0)
+	o.rec.EmitAt(obs.EvRunEnd, 0, v.instrs, v.res.Instrs, uint64(v.res.Cycles), 0)
 	v.res.Metrics = reg.Snapshot()
 }
 
@@ -130,26 +145,26 @@ func (v *VM) obsBBTTranslate(t *codecache.Translation) {
 	o := v.obs
 	o.bbtTranslations.Inc()
 	o.bbtBlockX86.Observe(uint64(t.NumX86))
-	o.rec.Emit(obs.EvBBTTranslate, t.EntryPC, uint64(t.NumX86), uint64(t.NumUops), uint64(t.Size))
+	o.rec.EmitAt(obs.EvBBTTranslate, t.EntryPC, v.instrs, uint64(t.NumX86), uint64(t.NumUops), uint64(t.Size))
 }
 
 func (v *VM) obsSBTPromote(t *codecache.Translation) {
 	o := v.obs
 	o.sbtPromotions.Inc()
 	o.sbtBlockX86.Observe(uint64(t.NumX86))
-	o.rec.Emit(obs.EvSBTPromote, t.EntryPC, uint64(t.NumX86), uint64(t.NumUops), uint64(t.Size))
+	o.rec.EmitAt(obs.EvSBTPromote, t.EntryPC, v.instrs, uint64(t.NumX86), uint64(t.NumUops), uint64(t.Size))
 }
 
 func (v *VM) obsChain(from, to *codecache.Translation) {
 	o := v.obs
 	o.chains.Inc()
-	o.rec.Emit(obs.EvChain, v.pc, uint64(from.EntryPC), uint64(to.EntryPC), 0)
+	o.rec.EmitAt(obs.EvChain, v.pc, v.instrs, uint64(from.EntryPC), uint64(to.EntryPC), 0)
 }
 
 func (v *VM) obsUnchain(old *codecache.Translation) {
 	o := v.obs
 	o.unchains.Inc()
-	o.rec.Emit(obs.EvUnchain, old.EntryPC, v.bbtCache.Epoch(), 0, 0)
+	o.rec.EmitAt(obs.EvUnchain, old.EntryPC, v.instrs, v.bbtCache.Epoch(), 0, 0)
 }
 
 // obsFlush reports a code-cache flush; id is 0 for BBT, 1 for SBT.
@@ -160,13 +175,13 @@ func (v *VM) obsFlush(c *codecache.Cache, id uint64) {
 	} else {
 		o.sbtFlushes.Inc()
 	}
-	o.rec.Emit(obs.EvCacheFlush, 0, id, c.Epoch(), c.Stats().Flushes)
+	o.rec.EmitAt(obs.EvCacheFlush, 0, v.instrs, id, c.Epoch(), c.Stats().Flushes)
 }
 
 func (v *VM) obsShadowEvict(evictedPC uint32) {
 	o := v.obs
 	o.shadowEvicts.Inc()
-	o.rec.Emit(obs.EvShadowEvict, evictedPC, uint64(v.shadow.len()), 0, 0)
+	o.rec.EmitAt(obs.EvShadowEvict, evictedPC, v.instrs, uint64(v.shadow.len()), 0, 0)
 }
 
 // obsJTLB emits a periodic cumulative hit/miss summary; call after each
@@ -178,7 +193,7 @@ func (v *VM) obsJTLB() {
 	}
 	o := v.obs
 	o.jtlbEpochs.Inc()
-	o.rec.Emit(obs.EvJTLBEpoch, 0, v.res.JTLBHits, v.res.JTLBMisses, 0)
+	o.rec.EmitAt(obs.EvJTLBEpoch, 0, v.instrs, v.res.JTLBHits, v.res.JTLBMisses, 0)
 }
 
 // obsDrain reports a pipeline drain point; called with the pipeline
@@ -189,7 +204,7 @@ func (v *VM) obsDrain(reason int) {
 	pending := v.ring.pending()
 	o.ringDrains.Inc()
 	o.drainPending.Observe(pending)
-	o.rec.Emit(obs.EvRingDrain, 0, uint64(reason), pending, 0)
+	o.rec.EmitAt(obs.EvRingDrain, 0, v.instrs, uint64(reason), pending, 0)
 }
 
 // obsArmRing installs (or clears) the trace ring's stall hook for this
@@ -203,7 +218,7 @@ func (v *VM) obsArmRing() {
 	v.ring.onStall = func(n uint64) {
 		o.ringStalls.Inc()
 		if n%ringStallSample == 1 {
-			o.rec.Emit(obs.EvRingStall, 0, n, 0, 0)
+			o.rec.EmitAt(obs.EvRingStall, 0, v.instrs, n, 0, 0)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 
 	"codesignvm/internal/bbt"
@@ -11,6 +12,7 @@ import (
 	"codesignvm/internal/fisa"
 	"codesignvm/internal/hwassist"
 	"codesignvm/internal/interp"
+	"codesignvm/internal/obs"
 	"codesignvm/internal/profile"
 	"codesignvm/internal/sbt"
 	"codesignvm/internal/timing"
@@ -61,6 +63,11 @@ type VM struct {
 	// every emission site runs on the producer side of the pipeline.
 	obs *vmObs
 
+	// tlArmed is the producer-side interval-sampler switch: when set,
+	// emitSample gathers code-cache occupancy (producer-owned state)
+	// into the sample record for the consumer's timeline capture.
+	tlArmed bool
+
 	// Consumer state: the timing engine above plus everything below.
 	xlt        *hwassist.XLTUnit
 	dmd        *hwassist.DualModeDecoder
@@ -68,6 +75,12 @@ type VM struct {
 	spanStart  float64 // attribution span opened by opBlockStart
 	res        Result
 	nextSample float64
+
+	// Interval sampler (consumer side; see obs.go). tlNext is +Inf when
+	// sampling is off, so the disabled cost on the timing path is the
+	// single float compare guarding appendTimeline at each call site.
+	tl     *obs.Timeline
+	tlNext float64
 }
 
 // New builds a VM over the program memory with the given initial
@@ -92,6 +105,7 @@ func New(cfg Config, mem *x86.Memory, init *x86.State) *VM {
 		pc:         init.EIP,
 		arch:       *init,
 		nextSample: 1000,
+		tlNext:     math.Inf(1),
 	}
 	v.nst.LoadArch(init)
 	v.itp = interp.New(&v.arch, mem)
@@ -176,10 +190,47 @@ func (v *VM) attribute(cat Category, delta float64) {
 	v.cycles = v.eng.Now()
 }
 
+// sampleIfDue emits due startup-curve samples. Consumer side. This
+// runs once per dispatched block and must stay within the inlining
+// budget, which is why the timeline sampler lives in a separate
+// check-plus-call at the (non-inlinable) call sites rather than here.
 func (v *VM) sampleIfDue() {
 	for v.cycles >= v.nextSample {
 		v.res.Samples = append(v.res.Samples, v.snapshot())
 		v.nextSample *= v.Cfg.SampleGrowth
+	}
+}
+
+// appendTimeline records every due timeline slice; bbtUsed/sbtUsed are
+// the code-cache occupancies the producer captured into the sample
+// record (producer-owned state must not be read here while a pipelined
+// run is in flight). Called only when a boundary has actually been
+// crossed (rare — once per interval); the per-block disabled cost is
+// the caller's single compare against the +Inf boundary.
+func (v *VM) appendTimeline(bbtUsed, sbtUsed uint32) {
+	for v.cycles >= v.tlNext {
+		// The slice is stamped at the nominal boundary, not v.cycles:
+		// the grid stays regular however far one block overshoots.
+		v.tlNext = v.tl.Append(v.timeSlice(v.tlNext, bbtUsed, sbtUsed))
+	}
+}
+
+// timeSlice snapshots the consumer's cumulative counters into one
+// timeline slice ending at end.
+func (v *VM) timeSlice(end float64, bbtUsed, sbtUsed uint32) obs.TimeSlice {
+	return obs.TimeSlice{
+		EndCycles:    end,
+		Instrs:       v.res.Instrs,
+		InterpInstrs: v.res.InterpInstrs,
+		BBTInstrs:    v.res.BBTInstrs,
+		SBTInstrs:    v.res.SBTInstrs,
+		X86Instrs:    v.res.X86Instrs,
+		VMMCycles:    v.res.Cat[CatVMM],
+		XlateCycles:  v.res.Cat[CatBBTXlate] + v.res.Cat[CatSBTXlate],
+		EmuCycles: v.res.Cat[CatBBTEmu] + v.res.Cat[CatSBTEmu] +
+			v.res.Cat[CatX86Emu] + v.res.Cat[CatInterp],
+		BBTUsed: bbtUsed,
+		SBTUsed: sbtUsed,
 	}
 }
 
@@ -236,6 +287,12 @@ func (v *VM) Run(maxInstrs uint64) (*Result, error) {
 	v.res.XltInvocations = v.xlt.Invocations
 	v.res.XltBusyCycles = v.xlt.BusyCycles
 	v.res.Samples = append(v.res.Samples, v.snapshot())
+	if v.tl != nil {
+		// Close the timeline with the run-end partial slice. Both
+		// pipeline sides have joined, so producer-owned occupancy is
+		// readable here.
+		v.tl.AppendFinal(v.timeSlice(v.cycles, v.bbtCache.Used(), v.sbtCache.Used()))
+	}
 	if v.obs != nil {
 		v.obsRunEnd()
 	}

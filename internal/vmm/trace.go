@@ -77,7 +77,11 @@ const (
 	// opExitCall records a direct call with the return-address stack
 	// (a = branch PC, b = target, c = return PC).
 	opExitCall
-	// opSample emits due startup-curve samples (VM.sampleIfDue).
+	// opSample emits due startup-curve samples and timeline slices
+	// (VM.sampleIfDue). When the interval sampler is armed, a/b carry
+	// the BBT/SBT code-cache occupancy at emission: occupancy is
+	// producer-owned, so the producer snapshots it into the record for
+	// the consumer's timeline capture.
 	opSample
 	// opStop terminates the consumer (pipelined mode only).
 	opStop
@@ -157,6 +161,9 @@ func (v *VM) apply(r *traceRec) {
 
 	case opSample:
 		v.sampleIfDue()
+		if v.cycles >= v.tlNext {
+			v.appendTimeline(r.a, r.b)
+		}
 	}
 }
 
@@ -349,6 +356,21 @@ func (v *VM) emitExitCall(branchPC, target, returnPC uint32) {
 }
 
 func (v *VM) emitSample() {
+	if v.tlArmed {
+		// Sampler armed: capture code-cache occupancy (producer-owned)
+		// alongside the sample so the consumer can fold it into the
+		// timeline at the next boundary crossing.
+		bu, su := v.bbtCache.Used(), v.sbtCache.Used()
+		if v.pipelining {
+			v.ring.push(&traceRec{op: opSample, a: bu, b: su})
+			return
+		}
+		v.sampleIfDue()
+		if v.cycles >= v.tlNext {
+			v.appendTimeline(bu, su)
+		}
+		return
+	}
 	if v.pipelining {
 		v.ring.push(&traceRec{op: opSample})
 		return

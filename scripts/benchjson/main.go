@@ -1,0 +1,157 @@
+// benchjson converts `go test -bench` output into a small stable JSON
+// document, and validates such documents.
+//
+// Convert (scripts/bench.sh): pipe benchmark output through stdin:
+//
+//	go test -bench Fig2 -benchmem . | go run ./scripts/benchjson > BENCH_PR4.json
+//
+// Validate (scripts/ci.sh): -check FILE exits non-zero unless FILE is
+// well-formed bench.v1 JSON with at least one benchmark:
+//
+//	go run ./scripts/benchjson -check BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// doc is the bench.v1 schema.
+type doc struct {
+	Schema     string  `json:"schema"`
+	Host       host    `json:"host"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type host struct {
+	Go       string `json:"go"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	CPUs     int    `json:"cpus"`
+	Hostname string `json:"hostname"`
+}
+
+type bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	check := flag.String("check", "", "validate this bench.v1 JSON file instead of converting")
+	flag.Parse()
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		return
+	}
+	d, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans `go test -bench` output for result lines:
+//
+//	BenchmarkFig2-8   5   238041153 ns/op   18516 B/op   42 allocs/op
+//
+// Non-benchmark lines (ok/PASS/goos/...) pass through to stderr so the
+// run stays observable when piped.
+func parse(r *os.File) (*doc, error) {
+	hostname, _ := os.Hostname()
+	d := &doc{
+		Schema: "bench.v1",
+		Host: host{
+			Go:       runtime.Version(),
+			OS:       runtime.GOOS,
+			Arch:     runtime.GOARCH,
+			CPUs:     runtime.NumCPU(),
+			Hostname: hostname,
+		},
+		Benchmarks: []bench{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		b := bench{Name: f[0], Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		d.Benchmarks = append(d.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return d, nil
+}
+
+// checkFile validates the bench.v1 shape: parseable, right schema tag,
+// host metadata present, at least one benchmark with positive ns/op.
+func checkFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d doc
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return fmt.Errorf("not valid bench.v1 JSON: %w", err)
+	}
+	if d.Schema != "bench.v1" {
+		return fmt.Errorf("schema = %q, want bench.v1", d.Schema)
+	}
+	if d.Host.Go == "" || d.Host.OS == "" || d.Host.Arch == "" || d.Host.CPUs <= 0 {
+		return fmt.Errorf("host metadata incomplete: %+v", d.Host)
+	}
+	if len(d.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks recorded")
+	}
+	for _, b := range d.Benchmarks {
+		if b.Name == "" || b.Iterations <= 0 || b.NsPerOp <= 0 {
+			return fmt.Errorf("malformed benchmark entry: %+v", b)
+		}
+	}
+	return nil
+}

@@ -21,9 +21,12 @@ import (
 //	/healthz       liveness probe
 //	/debug/pprof/  the standard Go profiling endpoints
 //
-// The returned stop function shuts the server down gracefully; the
-// sweep does not wait on it otherwise.
-func startIntrospection(ln net.Listener, o *codesignvm.Observer) (stop func()) {
+// The returned stop function shuts the server down gracefully and
+// reports any serve or shutdown failure, so a server that died
+// mid-sweep (or refused to drain) surfaces as a non-zero exit instead
+// of a swallowed goroutine log; the sweep does not wait on it
+// otherwise.
+func startIntrospection(ln net.Listener, o *codesignvm.Observer) (stop func() error) {
 	mux := http.NewServeMux()
 	mux.Handle("/", codesignvm.NewIntrospectionHandler(o, map[string]string{
 		"exp":   *expFlag,
@@ -39,17 +42,26 @@ func startIntrospection(ln net.Listener, o *codesignvm.Observer) (stop func()) {
 
 	srv := &http.Server{Handler: mux}
 	done := make(chan struct{})
+	var serveErr error // written before close(done), read after <-done
 	go func() {
 		defer close(done)
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr = err
 			fmt.Fprintln(os.Stderr, "vmsim: -http:", err)
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "vmsim: introspection server on http://%s\n", ln.Addr())
-	return func() {
+	return func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx)
+		shutErr := srv.Shutdown(ctx)
 		<-done
+		if serveErr != nil {
+			return fmt.Errorf("-http: %w", serveErr)
+		}
+		if shutErr != nil {
+			return fmt.Errorf("-http shutdown: %w", shutErr)
+		}
+		return nil
 	}
 }

@@ -30,16 +30,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	codesignvm "codesignvm"
@@ -55,7 +58,8 @@ var (
 	seqFlag    = flag.Bool("seq", false, "run the experiment grid sequentially")
 	pipeFlag   = flag.Bool("pipeline", true, "decouple functional execution and timing onto two goroutines per run (identical reports, faster wall-clock)")
 	freshFlag  = flag.Bool("fresh", false, "disable the simulation-result caches (in-process memoization and -store reads)")
-	storeFlag  = flag.String("store", "", "directory for the persistent cross-process run store (empty: disabled)")
+	storeFlag  = flag.String("store", "", "directory for the persistent cross-process run store (empty: disabled; see docs/runstore.md)")
+	storeMax   = flag.Int64("store-max", 0, "cap on total -store record bytes; least-recently-used records are evicted at startup (0: uncapped)")
 
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -75,8 +79,16 @@ var (
 // set. All experiment and single runs report into it.
 var obsv *codesignvm.Observer
 
+// runCtx cancels the experiment grid (task pickup and store lock
+// waits) on SIGINT/SIGTERM, so an interrupted sweep exits promptly and
+// releases its store locks instead of dying mid-heartbeat.
+var runCtx = context.Background()
+
 func main() {
 	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	runCtx = ctx
 	stop, err := startProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmsim:", err)
@@ -206,7 +218,7 @@ func setupObservability() (finish func() error, err error) {
 			fmt.Fprintln(os.Stderr, "vmsim: -timeline implies -fresh (only fresh simulations sample a timeline)")
 		}
 	}
-	stopHTTP := func() {}
+	stopHTTP := func() error { return nil }
 	if ln != nil {
 		stopHTTP = startIntrospection(ln, obsv)
 	}
@@ -216,13 +228,15 @@ func setupObservability() (finish func() error, err error) {
 	}
 	return func() error {
 		stopProgress()
+		// FullSnapshot: the per-run aggregate plus the process-level
+		// registry (runs.*, store.* health), matching /metrics.
 		if *metricsFlag == "json" {
-			if err := obsv.Aggregate().WriteJSON(os.Stdout); err != nil {
+			if err := obsv.FullSnapshot().WriteJSON(os.Stdout); err != nil {
 				return err
 			}
 		} else if *metricsFlag == "table" {
 			fmt.Printf("observability metrics (aggregate over %d runs):\n", obsv.RunCount())
-			obsv.Aggregate().Format(os.Stdout)
+			obsv.FullSnapshot().Format(os.Stdout)
 		}
 		var firstErr error
 		keep := func(err error) {
@@ -250,7 +264,7 @@ func setupObservability() (finish func() error, err error) {
 			fmt.Fprintf(os.Stderr, "vmsim: wrote %d run timelines to %s\n", len(runs), *timelineFlag)
 			keep(f.Close())
 		}
-		stopHTTP()
+		keep(stopHTTP())
 		return firstErr
 	}, nil
 }
@@ -355,12 +369,14 @@ func startProfiling() (stop func(), err error) {
 
 func options() codesignvm.Options {
 	opt := codesignvm.Options{
-		Scale:      *scaleFlag,
-		Sequential: *seqFlag,
-		NoPipeline: !*pipeFlag,
-		FreshRuns:  *freshFlag || *timelineFlag != "",
-		Store:      *storeFlag,
-		Obs:        obsv,
+		Scale:         *scaleFlag,
+		Sequential:    *seqFlag,
+		NoPipeline:    !*pipeFlag,
+		FreshRuns:     *freshFlag || *timelineFlag != "",
+		Store:         *storeFlag,
+		StoreMaxBytes: *storeMax,
+		Obs:           obsv,
+		Ctx:           runCtx,
 	}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")

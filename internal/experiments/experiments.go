@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"codesignvm/internal/experiments/faultfs"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
 	"codesignvm/internal/obs"
@@ -44,8 +46,19 @@ type Options struct {
 	// Store names a directory for the persistent cross-process run
 	// store: finished runs are written there and future runs (in this
 	// or any other process) with the same content hash are loaded
-	// instead of simulated. Empty disables persistence.
+	// instead of simulated. Empty disables persistence. The store is
+	// crash-safe and self-healing (docs/runstore.md): corrupt records
+	// are quarantined and re-simulated, abandoned locks are stolen,
+	// and any store failure degrades to simulating.
 	Store string
+	// StoreMaxBytes caps the on-disk size of the run store: the
+	// once-per-process GC sweep evicts least-recently-used records
+	// until the store fits. 0 leaves the store uncapped.
+	StoreMaxBytes int64
+	// Ctx cancels long waits: store lock waits return its error and
+	// the experiment grid stops picking up new tasks once it is done.
+	// Nil means context.Background (never cancelled).
+	Ctx context.Context
 	// HotThreshold overrides the Eq. 2 hot threshold (0 keeps the model
 	// default: 8000 for BBT-based schemes, 25 for interpretation). The
 	// interpreted-mode threshold is scaled proportionally. Used for
@@ -60,6 +73,13 @@ type Options struct {
 	// instrumented and uninstrumented sweeps produce byte-identical
 	// reports either way.
 	Obs *obs.Observer
+
+	// storeFS substitutes the run store's filesystem (fault-injection
+	// tests); nil uses the real disk. storeTun overrides the lock and
+	// GC time constants; nil keeps production values. Both are test
+	// seams, deliberately unexported.
+	storeFS  faultfs.FS
+	storeTun *storeTuning
 }
 
 // configFor builds the vmm configuration for a model under these
@@ -113,8 +133,12 @@ func (o Options) forEachTask(n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	ctx := o.ctx()
 	if o.Sequential || workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -132,6 +156,12 @@ func (o Options) forEachTask(n int, fn func(i int) error) error {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				// A cancelled sweep stops picking up new tasks; the task
+				// body itself also observes ctx inside store lock waits.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				errs[i] = fn(i)
 			}

@@ -68,10 +68,12 @@ func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result,
 			return nil, err
 		}
 		res, err := o.runObserved(cfg, prog, app, instrs)
-		if err == nil && o.Store != "" {
-			// Fresh runs skip store reads but still publish: a later
-			// process can reuse the work.
-			storeSave(o.Store, runFileKey(cfg, app, scale, instrs), res)
+		if err == nil {
+			if s := o.store(); s != nil {
+				// Fresh runs skip store reads but still publish: a later
+				// process can reuse the work.
+				s.save(runFileKey(cfg, app, scale, instrs), res)
+			}
 		}
 		return res, err
 	}
@@ -88,12 +90,15 @@ func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result,
 
 // simulateOrLoad fills one cache slot: from the disk store when
 // enabled and warm, otherwise by simulating (single-flighted across
-// processes through the store's lock file, and published back).
+// processes through the store's heartbeat-refreshed lock file, and
+// published back). Every store failure mode degrades to simulating;
+// only workload errors and context cancellation propagate.
 func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs uint64) (*vmm.Result, error) {
+	s := o.store()
 	var key string
-	if o.Store != "" {
+	if s != nil {
 		key = runFileKey(cfg, app, scale, instrs)
-		if res, _ := storeLoad(o.Store, key); res != nil {
+		if res, _ := s.load(key); res != nil {
 			o.obsStore(true, cfg, app)
 			return res, nil
 		}
@@ -103,22 +108,36 @@ func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs ui
 	if err != nil {
 		return nil, err
 	}
-	if o.Store == "" {
+	if s == nil {
 		return o.runObserved(cfg, prog, app, instrs)
 	}
-	for {
-		release, won := acquireRunLock(o.Store, key)
+	for attempt := 0; ; attempt++ {
+		release, won, err := s.acquire(key)
+		if err != nil {
+			return nil, err // cancelled mid-wait
+		}
 		if !won {
 			// Another process finished this run while we waited.
-			if res, _ := storeLoad(o.Store, key); res != nil {
+			if res, _ := s.load(key); res != nil {
 				o.obsStore(true, cfg, app)
 				return res, nil
 			}
-			continue // result vanished (cleaned store?); re-contend
+			if attempt < 2 {
+				continue // result vanished (cleaned store?); re-contend
+			}
+			// The result keeps disappearing under us (aggressive GC,
+			// flaky storage): stop trusting the store and simulate.
+			release = func() {}
+		} else if res, _ := s.load(key); res != nil {
+			// Double-check under the lock: the result may have been
+			// published between our miss and winning a just-freed lock.
+			release()
+			o.obsStore(true, cfg, app)
+			return res, nil
 		}
 		res, err := o.runObserved(cfg, prog, app, instrs)
 		if err == nil {
-			storeSave(o.Store, key, res) // best-effort publication
+			s.save(key, res) // best-effort publication
 		}
 		release()
 		return res, err

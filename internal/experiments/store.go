@@ -2,17 +2,24 @@ package experiments
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"codesignvm/internal/experiments/faultfs"
 	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 )
@@ -21,37 +28,131 @@ import (
 // spilled to disk, so a warm sweep in a *fresh process* is near-free.
 // Each finished simulation is written to <dir>/<hash>.run, keyed by a
 // content hash over (schema version, normalized machine configuration,
-// application, scale, instruction budget). The encoding follows the
-// internal/codecache/persist.go conventions: an ASCII magic, then
-// little-endian fixed-width fields behind one buffered writer.
+// application, scale, instruction budget). Records are CRC-guarded
+// (`CRUN2`): a Castagnoli CRC-32 trailer over the whole payload plus a
+// trailing-EOF check reject truncated, bit-flipped or extended files;
+// corrupt entries are quarantined to a `.bad` sidecar and re-simulated.
 //
 // Concurrent processes single-flight through a <hash>.lock file
-// (O_CREATE|O_EXCL): the loser of the race polls for the winner's
-// result instead of duplicating a simulation that can take minutes.
-// Locks abandoned by crashed processes are stolen after a staleness
-// window. Store failures (read-only dir, corrupt file) degrade to
-// simulating — persistence is an accelerator, never a correctness
-// dependency.
+// (O_CREATE|O_EXCL) whose owner refreshes its mtime from a heartbeat
+// goroutine; waiters poll with exponential backoff under a hard
+// deadline and steal locks whose mtime goes stale (owner crashed)
+// through a marker-arbitrated rename, so exactly one waiter wins a
+// steal. docs/runstore.md specifies the full protocol. Store failures
+// of any kind (read-only dir, full disk, corrupt or vanished files,
+// hung peers, cancelled context) degrade to simulating — persistence
+// is an accelerator, never a correctness dependency.
+//
+// All filesystem access goes through a faultfs.FS seam so the fault-
+// injection suite (storefault_test.go) can simulate kill-mid-write,
+// truncation, bit flips, ENOSPC and EROFS deterministically.
 
 const (
-	runMagic = "CRUN1"
+	runMagic = "CRUN2"
 	// runSchema versions the key derivation and record encoding; bump it
 	// whenever vmm.Config, vmm.Result or the encoding change shape so
 	// stale stores miss instead of misread. The config's textual %#v
 	// form is hashed, so most Config changes invalidate keys on their
 	// own; the version covers Result/encoding changes.
 	// v2: appended observability metric snapshots (Result.Metrics).
-	runSchema = 2
-	// lockStale is how long a lock file may sit unmodified before a
-	// waiting process assumes its owner died and steals it.
-	lockStale = 10 * time.Minute
-	// lockPoll is the wait between checks for the lock owner's result.
-	lockPoll = 50 * time.Millisecond
+	// v3: CRUN2 — CRC-32C trailer + trailing-EOF verification.
+	runSchema = 3
 )
 
-// storeHits counts disk-store loads (observable by tests and by the
-// overhead report; reads and writes race-free via atomics).
-var storeHits atomic.Uint64
+// storeTuning groups the lock-protocol and GC time/size constants so
+// tests can shrink the timescales; defaultTuning holds the production
+// values.
+type storeTuning struct {
+	// lockStale is how long a lock file's mtime may sit unrefreshed
+	// before a waiter assumes the owner died and steals it. The owner's
+	// heartbeat refreshes the mtime well inside this window, so live
+	// owners are never stolen from, however long they simulate.
+	lockStale time.Duration
+	// heartbeat is the owner-side mtime refresh period.
+	heartbeat time.Duration
+	// pollMin/pollMax bound the waiter's exponential backoff between
+	// checks for the owner's published result.
+	pollMin, pollMax time.Duration
+	// waitMax is the hard deadline on one lock wait: past it the waiter
+	// stops trusting single-flight (hung but heartbeating peer, clock
+	// trouble) and degrades to simulating without the lock.
+	waitMax time.Duration
+	// gcTmpAge is how old an orphaned .tmp* or .steal.* file must be
+	// before GC collects it.
+	gcTmpAge time.Duration
+	// maxBytes caps the total size of .run/.bad records; GC evicts
+	// least-recently-used records (by access time, maintained with an
+	// explicit touch on every hit so noatime mounts behave) until the
+	// store fits. 0 = uncapped.
+	maxBytes int64
+}
+
+var defaultTuning = storeTuning{
+	lockStale: 10 * time.Minute,
+	heartbeat: time.Minute,
+	pollMin:   25 * time.Millisecond,
+	pollMax:   time.Second,
+	waitMax:   30 * time.Minute,
+	gcTmpAge:  time.Hour,
+}
+
+// Store health counters, observable by tests and the overhead report
+// without an observer attached (reads and writes race-free via
+// atomics). The obs metrics mirror these per process.
+var (
+	storeHits        atomic.Uint64 // disk-store loads
+	storeCorrupt     atomic.Uint64 // quarantined records
+	storeSteals      atomic.Uint64 // stale locks stolen
+	storeTimeouts    atomic.Uint64 // lock waits past waitMax (degraded)
+	storeGCEvictions atomic.Uint64 // records evicted by the size cap
+)
+
+// lockSeq disambiguates lock tokens minted by one process.
+var lockSeq atomic.Uint64
+
+// runStore is one handle on a store directory: the directory, the
+// filesystem seam, the tuning constants, and the observability hooks.
+// Options.store builds it; the zero value is not usable.
+type runStore struct {
+	dir string
+	fs  faultfs.FS
+	tun storeTuning
+	obs *obs.Observer
+	ctx context.Context
+}
+
+// storeGCDone gates the once-per-process-per-directory GC sweep.
+var storeGCDone sync.Map // dir -> *sync.Once
+
+// store builds the runStore handle for these options, or nil when
+// persistence is disabled. The first handle per directory (with the
+// default seams) runs one GC sweep.
+func (o Options) store() *runStore {
+	if o.Store == "" {
+		return nil
+	}
+	s := &runStore{dir: o.Store, fs: o.storeFS, tun: defaultTuning, obs: o.Obs, ctx: o.ctx()}
+	if o.storeTun != nil {
+		s.tun = *o.storeTun
+	}
+	if o.StoreMaxBytes > 0 {
+		s.tun.maxBytes = o.StoreMaxBytes
+	}
+	if s.fs == nil {
+		s.fs = faultfs.Disk{}
+		once, _ := storeGCDone.LoadOrStore(o.Store, new(sync.Once))
+		once.(*sync.Once).Do(s.gc)
+	}
+	return s
+}
+
+// ctx returns the options' cancellation context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
 
 // runFileKey derives the content-hash key of one simulation. The
 // host-side execution mode (Pipeline) is normalized out: both modes
@@ -63,81 +164,344 @@ func runFileKey(cfg vmm.Config, app string, scale int, instrs uint64) string {
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
-// storeLoad reads a previously persisted result, returning (nil, nil)
-// on any miss — absent file, bad magic, truncation — so callers fall
-// back to simulating.
-func storeLoad(dir, key string) (*vmm.Result, error) {
-	f, err := os.Open(filepath.Join(dir, key+".run"))
+func (s *runStore) runPath(key string) string  { return filepath.Join(s.dir, key+".run") }
+func (s *runStore) lockPath(key string) string { return filepath.Join(s.dir, key+".lock") }
+
+// load reads a previously persisted result, returning (nil, nil) on
+// any miss — absent file, failed checksum, truncation — so callers
+// fall back to simulating. Corrupt entries are quarantined to a .bad
+// sidecar (never re-read, kept for diagnosis); hits are touched so the
+// size-cap GC evicts least-recently-used records.
+func (s *runStore) load(key string) (*vmm.Result, error) {
+	path := s.runPath(key)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, nil
 	}
-	defer f.Close()
-	res, err := readResult(bufio.NewReader(f))
-	if err != nil {
-		return nil, nil // corrupt or stale-schema entry: re-simulate
+	res, derr := decodeResult(data)
+	if derr != nil {
+		s.quarantine(key, path, len(data), derr)
+		return nil, nil
 	}
 	storeHits.Add(1)
+	now := time.Now()
+	s.fs.Chtimes(path, now, now) // LRU touch; best-effort
 	return res, nil
 }
 
-// storeSave persists a finished result atomically (temp file + rename,
-// so concurrent readers never observe a partial record). Errors are
-// returned for logging but callers treat them as non-fatal.
-func storeSave(dir, key string, res *vmm.Result) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// quarantine moves a corrupt record aside as <key>.bad so it is never
+// re-read (every future lookup would otherwise re-fail on it) while
+// preserving the bytes for diagnosis. Best-effort: when even the
+// rename fails (read-only store) the entry simply stays a miss.
+func (s *runStore) quarantine(key, path string, size int, reason error) {
+	storeCorrupt.Add(1)
+	s.fs.Rename(path, filepath.Join(s.dir, key+".bad"))
+	if s.obs != nil {
+		s.obs.Proc.Counter("store.corrupt", "records").Inc()
+		s.obs.Emit(obs.EvStoreCorrupt, key, 0, uint64(size), 0, 0)
+	}
+}
+
+// save persists a finished result atomically (temp file + rename, so
+// concurrent readers never observe a partial record). Errors are
+// returned for logging but callers treat them as non-fatal; a failed
+// write removes its temp file (best-effort — a killed process leaves
+// an orphan for GC).
+func (s *runStore) save(key string, res *vmm.Result) error {
+	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	tmp, err := s.fs.CreateTemp(s.dir, key+".tmp*")
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(tmp)
-	err = writeResult(bw, res)
-	if err == nil {
-		err = bw.Flush()
-	}
+	_, err = tmp.Write(encodeResult(res))
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, key+".run"))
+	return s.fs.Rename(tmp.Name(), s.runPath(key))
 }
 
-// acquireRunLock tries to become the single flight for key across
-// processes. It returns (release, true) when this process should
-// simulate, or (nil, false) after another process's result appeared
-// (the caller re-reads the store).
-func acquireRunLock(dir, key string) (release func(), won bool) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return func() {}, true // can't lock: just simulate
+// acquire tries to become the single flight for key across processes.
+// It returns won=true with a release func when this process should
+// simulate (release is a no-op if the wait degraded), won=false after
+// another process's result appeared (the caller re-reads the store),
+// or err when the context was cancelled mid-wait.
+func (s *runStore) acquire(key string) (release func(), won bool, err error) {
+	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
+		return func() {}, true, nil // can't lock: just simulate
 	}
-	lock := filepath.Join(dir, key+".lock")
-	for {
-		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			f.Close()
-			return func() { os.Remove(lock) }, true
+	lock := s.lockPath(key)
+	start := time.Now()
+	deadline := start.Add(s.tun.waitMax)
+	wait := s.tun.pollMin
+	defer func() {
+		if s.obs != nil {
+			s.obs.Proc.Histogram("store.lock_wait_ns", "ns", obs.BucketsPow2(1<<20, 16)).
+				Observe(uint64(time.Since(start)))
 		}
-		if !os.IsExist(err) {
-			return func() {}, true // unexpected lock failure: simulate
+	}()
+	for {
+		rel, ok, fatal := s.tryLock(lock)
+		if fatal || ok {
+			return rel, true, nil
 		}
 		// Another process is simulating this key: wait for its result,
-		// stealing the lock if it goes stale (owner crashed).
-		if st, serr := os.Stat(lock); serr == nil && time.Since(st.ModTime()) > lockStale {
-			os.Remove(lock)
-			continue
+		// stealing the lock if its heartbeat goes stale (owner crashed).
+		if st, serr := s.fs.Stat(lock); serr == nil && time.Since(st.ModTime()) > s.tun.lockStale {
+			if s.steal(lock, key, st) {
+				continue // corpse cleared; re-contend immediately
+			}
 		}
-		time.Sleep(lockPoll)
-		if _, serr := os.Stat(filepath.Join(dir, key+".run")); serr == nil {
-			return nil, false
+		if time.Now().After(deadline) {
+			// Hard deadline: a peer that heartbeats but never publishes
+			// (hung, or its store writes fail forever) must not wedge the
+			// sweep. Give up on single-flight and simulate.
+			storeTimeouts.Add(1)
+			if s.obs != nil {
+				s.obs.Proc.Counter("store.lock_timeouts", "waits").Inc()
+			}
+			return func() {}, true, nil
 		}
-		if _, serr := os.Stat(lock); os.IsNotExist(serr) {
-			continue // owner released without a result; take over
+		select {
+		case <-s.ctx.Done():
+			return nil, false, s.ctx.Err()
+		case <-time.After(wait):
+		}
+		if wait *= 2; wait > s.tun.pollMax {
+			wait = s.tun.pollMax
+		}
+		if _, serr := s.fs.Stat(s.runPath(key)); serr == nil {
+			return nil, false, nil
 		}
 	}
+}
+
+// tryLock attempts the O_CREATE|O_EXCL lock creation. ok means the
+// lock was taken (release stops the heartbeat and removes the lock if
+// still owned); fatal means locking is impossible (read-only store,
+// dead filesystem) and the caller should simulate without it.
+func (s *runStore) tryLock(lock string) (release func(), ok, fatal bool) {
+	f, err := s.fs.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, false, false
+		}
+		return func() {}, false, true // unexpected lock failure: simulate
+	}
+	// The token identifies this owner; release verifies it before
+	// removing so a release after a (mistaken) steal cannot delete the
+	// next owner's live lock.
+	token := fmt.Sprintf("pid %d seq %d t %d\n", os.Getpid(), lockSeq.Add(1), time.Now().UnixNano())
+	_, werr := io.WriteString(f, token)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// Half-written token: our own release could not verify it.
+		// Withdraw the lock (best-effort) and simulate unprotected.
+		s.fs.Remove(lock)
+		return func() {}, false, true
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner heartbeat: keep the lock visibly alive
+		defer wg.Done()
+		t := time.NewTicker(s.tun.heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				if s.fs.Chtimes(lock, now, now) != nil {
+					return // lock gone (stolen or store broken): stop touching
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		wg.Wait()
+		if data, rerr := s.fs.ReadFile(lock); rerr == nil && string(data) == token {
+			s.fs.Remove(lock)
+		}
+	}, true, false
+}
+
+// steal clears a stale lock via a marker-arbitrated rename, so of N
+// waiters observing the same corpse exactly one acts. The marker name
+// encodes the corpse's mtime (its incarnation): O_EXCL creation of the
+// marker elects the stealer, a re-stat confirms the corpse is still
+// the incarnation we marked (not a fresh lock that reused the path),
+// and only then is the corpse renamed away and removed. Returns true
+// when the path is clear for re-contention.
+func (s *runStore) steal(lock, key string, st os.FileInfo) bool {
+	marker := fmt.Sprintf("%s.steal.%d", lock, st.ModTime().UnixNano())
+	mf, err := s.fs.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			// Another waiter owns this steal. If it crashed mid-steal the
+			// marker itself goes stale; clear it so the corpse is
+			// eventually collectable.
+			if mst, serr := s.fs.Stat(marker); serr == nil && time.Since(mst.ModTime()) > s.tun.lockStale {
+				s.fs.Remove(marker)
+			}
+		}
+		return false
+	}
+	mf.Close()
+	cur, serr := s.fs.Stat(lock)
+	if serr != nil || !cur.ModTime().Equal(st.ModTime()) {
+		// The corpse vanished (owner released: path clear) or was
+		// replaced by a live lock (not ours to touch); either way this
+		// incarnation is gone, so withdraw the marker.
+		s.fs.Remove(marker)
+		return serr != nil
+	}
+	grave := marker + ".lock"
+	if s.fs.Rename(lock, grave) != nil {
+		s.fs.Remove(marker)
+		return false
+	}
+	s.fs.Remove(grave)
+	s.fs.Remove(marker)
+	storeSteals.Add(1)
+	if s.obs != nil {
+		s.obs.Proc.Counter("store.lock_steals", "steals").Inc()
+		s.obs.Emit(obs.EvStoreSteal, key, 0, uint64(time.Since(st.ModTime())), 0, 0)
+	}
+	return true
+}
+
+// gc sweeps the store directory: orphaned temp files and steal debris
+// past gcTmpAge are removed, stale locks are stolen (same arbitration
+// as waiters use), and when a size cap is set, least-recently-used
+// records are evicted until the store fits. One sweep runs per process
+// per directory, at first use; it is advisory and every step is
+// best-effort.
+func (s *runStore) gc() {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type record struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var records []record
+	var total int64
+	removed, evicted := 0, 0
+	now := time.Now()
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		path := filepath.Join(s.dir, name)
+		fi, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		age := now.Sub(fi.ModTime())
+		switch {
+		case strings.Contains(name, ".tmp"):
+			// A crashed writer's partial record: never renamed into
+			// place, so never read — pure garbage once old enough.
+			if age > s.tun.gcTmpAge {
+				if s.fs.Remove(path) == nil {
+					removed++
+				}
+			}
+		case strings.Contains(name, ".steal."):
+			// Debris from a stealer that crashed between marker and
+			// rename (or a renamed grave it never removed).
+			if age > s.tun.gcTmpAge {
+				if s.fs.Remove(path) == nil {
+					removed++
+				}
+			}
+		case strings.HasSuffix(name, ".lock"):
+			if age > s.tun.lockStale {
+				key := strings.TrimSuffix(name, ".lock")
+				if s.steal(path, key, fi) {
+					removed++
+				}
+			}
+		case strings.HasSuffix(name, ".run") || strings.HasSuffix(name, ".bad"):
+			records = append(records, record{path, fi.Size(), fi.ModTime()})
+			total += fi.Size()
+		}
+	}
+	if s.tun.maxBytes > 0 && total > s.tun.maxBytes {
+		// Evict by access time (maintained by load's explicit touch, so
+		// this is LRU even on noatime mounts), oldest first.
+		sort.Slice(records, func(i, j int) bool { return records[i].atime.Before(records[j].atime) })
+		for _, r := range records {
+			if total <= s.tun.maxBytes {
+				break
+			}
+			if s.fs.Remove(r.path) == nil {
+				total -= r.size
+				evicted++
+			}
+		}
+		storeGCEvictions.Add(uint64(evicted))
+	}
+	if s.obs != nil && (removed > 0 || evicted > 0) {
+		s.obs.Proc.Counter("store.gc_evictions", "files").Add(uint64(evicted))
+		s.obs.Emit(obs.EvStoreGC, filepath.Base(s.dir), 0, uint64(removed), uint64(evicted), 0)
+	}
+}
+
+// crcTable is the Castagnoli polynomial (same choice as iSCSI/ext4:
+// hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeResult renders one record: the CRUN2 magic and payload
+// (writeResult), then a little-endian CRC-32C trailer over everything
+// before it. Any truncation, extension or bit flip of the file breaks
+// the trailer.
+func encodeResult(r *vmm.Result) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeResult(bw, r); err == nil {
+		bw.Flush()
+	}
+	sum := crc32.Checksum(buf.Bytes(), crcTable)
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	return append(buf.Bytes(), trailer[:]...)
+}
+
+// decodeResult verifies and decodes what encodeResult produced: the
+// CRC trailer must match, the payload must decode, and the decoder
+// must consume the payload exactly (one further read returns io.EOF) —
+// a record truncated at a section boundary or with appended bytes is
+// rejected even before the checksum existed.
+func decodeResult(data []byte) (*vmm.Result, error) {
+	if len(data) < len(runMagic)+4 {
+		return nil, fmt.Errorf("experiments: run record too short (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("experiments: run record checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	br := bufio.NewReader(bytes.NewReader(payload))
+	res, err := readResult(br)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("experiments: trailing bytes after run record")
+	}
+	return res, nil
 }
 
 // writeResult encodes one vmm.Result. Field order is fixed; floats are

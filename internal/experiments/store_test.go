@@ -1,18 +1,45 @@
 package experiments
 
 import (
-	"bufio"
-	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
 
+	"codesignvm/internal/experiments/faultfs"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 )
+
+// testTuning shrinks the lock-protocol timescales so steal/backoff
+// paths run in milliseconds under test.
+func testTuning() storeTuning {
+	return storeTuning{
+		lockStale: 250 * time.Millisecond,
+		heartbeat: 50 * time.Millisecond,
+		pollMin:   2 * time.Millisecond,
+		pollMax:   20 * time.Millisecond,
+		waitMax:   20 * time.Second,
+		gcTmpAge:  250 * time.Millisecond,
+	}
+}
+
+// testStore builds a runStore over a temp dir with test tuning.
+func testStore(t *testing.T) *runStore {
+	t.Helper()
+	return &runStore{
+		dir: t.TempDir(),
+		fs:  faultfs.Disk{},
+		tun: testTuning(),
+		ctx: context.Background(),
+	}
+}
 
 // sampleResult builds a fully populated Result so the round-trip test
 // covers every encoded field with a distinct value.
@@ -51,19 +78,11 @@ func sampleResult() *vmm.Result {
 	return r
 }
 
-// TestRunStoreRoundTrip: writeResult followed by readResult must
+// TestRunStoreRoundTrip: encodeResult followed by decodeResult must
 // reproduce the Result exactly, including float bit patterns.
 func TestRunStoreRoundTrip(t *testing.T) {
 	want := sampleResult()
-	var buf bytes.Buffer
-	bw := bufio.NewWriter(&buf)
-	if err := writeResult(bw, want); err != nil {
-		t.Fatal(err)
-	}
-	if err := bw.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	got, err := readResult(bufio.NewReader(&buf))
+	got, err := decodeResult(encodeResult(want))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,32 +91,54 @@ func TestRunStoreRoundTrip(t *testing.T) {
 	}
 }
 
-// TestRunStoreRejectsCorruption: truncated or garbage entries must read
-// as a miss (nil, nil) so callers fall back to simulating.
-func TestRunStoreRejectsCorruption(t *testing.T) {
-	dir := t.TempDir()
+// TestRunStoreRejectsTrailingGarbage: a structurally valid record with
+// appended bytes must be rejected — both by the CRC trailer moving and
+// by the trailing-EOF check (tested separately on the raw payload).
+func TestRunStoreRejectsTrailingGarbage(t *testing.T) {
+	rec := encodeResult(sampleResult())
+	if _, err := decodeResult(append(append([]byte{}, rec...), 0xEE)); err == nil {
+		t.Fatal("record with one appended byte decoded as valid")
+	}
+	// Even with a recomputed-correct CRC over extended payload, the
+	// trailing-EOF check must fire: rebuild a record whose payload is
+	// the original plus garbage.
+	payload := append(append([]byte{}, rec[:len(rec)-4]...), 0xAA, 0xBB)
+	if _, err := decodeResult(encodeTrailer(payload)); err == nil {
+		t.Fatal("payload with trailing garbage (valid CRC) decoded as valid")
+	}
+}
+
+// TestRunStoreLoadQuarantinesCorruption: corrupt entries read as a
+// miss and are moved to a .bad sidecar so they are never re-read.
+func TestRunStoreLoadQuarantinesCorruption(t *testing.T) {
+	s := testStore(t)
 	key := "deadbeef"
-	if err := os.WriteFile(filepath.Join(dir, key+".run"), []byte("not a run record"), 0o644); err != nil {
+	if err := os.WriteFile(s.runPath(key), []byte("not a run record"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if res, err := storeLoad(dir, key); res != nil || err != nil {
+	before := storeCorrupt.Load()
+	if res, err := s.load(key); res != nil || err != nil {
 		t.Fatalf("corrupt entry: want (nil, nil), got (%v, %v)", res, err)
 	}
+	if storeCorrupt.Load() != before+1 {
+		t.Fatal("corrupt load did not count")
+	}
+	if _, err := os.Stat(s.runPath(key)); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still in place after quarantine")
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, key+".bad")); err != nil {
+		t.Fatalf("no .bad sidecar after quarantine: %v", err)
+	}
 
-	// Valid magic, truncated body.
-	good := sampleResult()
-	if err := storeSave(dir, key, good); err != nil {
+	// A valid record loads, is NOT quarantined, and counts a hit.
+	if err := s.save(key, sampleResult()); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(filepath.Join(dir, key+".run"))
-	if err != nil {
-		t.Fatal(err)
+	if res, err := s.load(key); res == nil || err != nil {
+		t.Fatalf("valid entry: want result, got (%v, %v)", res, err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, key+".run"), data[:len(data)/2], 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if res, err := storeLoad(dir, key); res != nil || err != nil {
-		t.Fatalf("truncated entry: want (nil, nil), got (%v, %v)", res, err)
+	if _, err := os.Stat(s.runPath(key)); err != nil {
+		t.Fatal("valid entry vanished after load")
 	}
 }
 
@@ -180,46 +221,356 @@ func TestRunStorePersistsAcrossCacheReset(t *testing.T) {
 // contender wait; publishing the result releases the contender with
 // won=false so it re-reads the store instead of simulating.
 func TestRunStoreLockSingleFlight(t *testing.T) {
-	dir := t.TempDir()
+	s := testStore(t)
 	key := "cafef00d"
 
-	release, won := acquireRunLock(dir, key)
-	if !won {
-		t.Fatal("first contender did not win the lock")
+	release, won, err := s.acquire(key)
+	if err != nil || !won {
+		t.Fatalf("first contender did not win the lock (won=%v err=%v)", won, err)
 	}
 
-	type outcome struct{ won bool }
+	type outcome struct {
+		won bool
+		err error
+	}
 	done := make(chan outcome, 1)
 	go func() {
-		_, w := acquireRunLock(dir, key)
-		done <- outcome{w}
+		_, w, e := s.acquire(key)
+		done <- outcome{w, e}
 	}()
 
 	select {
 	case o := <-done:
-		t.Fatalf("contender returned (won=%v) while the lock was held", o.won)
+		t.Fatalf("contender returned (won=%v err=%v) while the lock was held", o.won, o.err)
 	case <-time.After(150 * time.Millisecond):
 	}
 
 	// Winner publishes its result; the waiter must observe it and lose.
-	if err := storeSave(dir, key, sampleResult()); err != nil {
+	if err := s.save(key, sampleResult()); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case o := <-done:
-		if o.won {
-			t.Fatal("contender won the lock despite a published result")
+		if o.won || o.err != nil {
+			t.Fatalf("contender won the lock despite a published result (won=%v err=%v)", o.won, o.err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("contender never observed the published result")
 	}
 	release()
+	if _, err := os.Stat(s.lockPath(key)); !os.IsNotExist(err) {
+		t.Fatal("release left the lock file behind")
+	}
 
 	// With the lock released and a result on disk the next acquire
 	// still wins (callers check the store before locking).
-	release2, won2 := acquireRunLock(dir, key)
-	if !won2 {
+	release2, won2, err := s.acquire(key)
+	if err != nil || !won2 {
 		t.Fatal("post-release contender did not win the freed lock")
 	}
 	release2()
+}
+
+// TestRunStoreHeartbeatPreventsSteal: an owner simulating longer than
+// lockStale must NOT lose its lock — the heartbeat refreshes the mtime
+// so waiters keep waiting instead of stealing a live lock.
+func TestRunStoreHeartbeatPreventsSteal(t *testing.T) {
+	s := testStore(t)
+	key := "11febeef"
+
+	release, won, err := s.acquire(key)
+	if err != nil || !won {
+		t.Fatal("owner did not win the lock")
+	}
+	defer release()
+
+	// Hold well past lockStale; a waiter in the background must neither
+	// win nor steal while the heartbeat keeps the lock fresh.
+	stealsBefore := storeSteals.Load()
+	done := make(chan bool, 1)
+	go func() {
+		_, w, _ := s.acquire(key)
+		done <- w
+	}()
+	select {
+	case w := <-done:
+		t.Fatalf("waiter returned (won=%v) while a heartbeating owner held the lock", w)
+	case <-time.After(3 * s.tun.lockStale):
+	}
+	if storeSteals.Load() != stealsBefore {
+		t.Fatal("a live, heartbeating lock was stolen")
+	}
+	// Publish so the waiter exits cleanly.
+	if err := s.save(key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if w := <-done; w {
+		t.Fatal("waiter won the lock despite the published result")
+	}
+}
+
+// TestRunStoreStaleSteal: a lock whose owner died (no heartbeat) is
+// stolen after lockStale, and of many concurrent waiters exactly one
+// simulation happens (the rest lose to the published result).
+func TestRunStoreStaleSteal(t *testing.T) {
+	s := testStore(t)
+	key := "0ddba11"
+
+	// A corpse: lock file with an old mtime and no owner refreshing it.
+	if err := os.WriteFile(s.lockPath(key), []byte("pid 0 seq 0 t 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-10 * s.tun.lockStale)
+	if err := os.Chtimes(s.lockPath(key), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	stealsBefore := storeSteals.Load()
+	const waiters = 8
+	wins := make(chan bool, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			release, won, err := s.acquire(key)
+			if err != nil {
+				t.Error(err)
+				wins <- false
+				return
+			}
+			if won {
+				// The winner "simulates" briefly, publishes, releases.
+				time.Sleep(20 * time.Millisecond)
+				if err := s.save(key, sampleResult()); err != nil {
+					t.Error(err)
+				}
+				release()
+			}
+			wins <- won
+		}()
+	}
+	winners := 0
+	for i := 0; i < waiters; i++ {
+		if <-wins {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("want exactly 1 winner after stale steal, got %d", winners)
+	}
+	if got := storeSteals.Load() - stealsBefore; got != 1 {
+		t.Fatalf("want exactly 1 steal, got %d", got)
+	}
+	if _, err := os.Stat(s.lockPath(key)); !os.IsNotExist(err) {
+		t.Fatal("lock file left behind after steal + release")
+	}
+}
+
+// TestRunStoreStealRaceExactlyOneWinner: the seed bug — two waiters
+// both observe the same stale lock and both try to clear it; with the
+// marker-arbitrated rename exactly one performs the steal per lock
+// incarnation (the rest merely observe an already-clear path).
+func TestRunStoreStealRaceExactlyOneWinner(t *testing.T) {
+	s := testStore(t)
+	key := "57ea1ace"
+	lock := s.lockPath(key)
+
+	for round := 0; round < 20; round++ {
+		if err := os.WriteFile(lock, []byte("corpse\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-10 * s.tun.lockStale)
+		if err := os.Chtimes(lock, old, old); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(lock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := storeSteals.Load()
+		const thieves = 8
+		results := make(chan bool, thieves)
+		start := make(chan struct{})
+		for i := 0; i < thieves; i++ {
+			go func() {
+				<-start
+				results <- s.steal(lock, key, st)
+			}()
+		}
+		close(start)
+		cleared := 0
+		for i := 0; i < thieves; i++ {
+			if <-results {
+				cleared++
+			}
+		}
+		if cleared < 1 {
+			t.Fatalf("round %d: no thief cleared the corpse", round)
+		}
+		if got := storeSteals.Load() - before; got != 1 {
+			t.Fatalf("round %d: want exactly 1 steal, got %d", round, got)
+		}
+		if _, err := os.Stat(lock); !os.IsNotExist(err) {
+			t.Fatalf("round %d: lock still present after steal", round)
+		}
+	}
+}
+
+// TestRunStoreStealRespectsFreshLock: a steal attempt against an
+// incarnation that was already replaced by a *fresh* lock must not
+// touch the fresh lock (the re-stat guard).
+func TestRunStoreStealRespectsFreshLock(t *testing.T) {
+	s := testStore(t)
+	key := "f4e5b10c"
+	lock := s.lockPath(key)
+
+	// The stale stat the would-be thief holds.
+	if err := os.WriteFile(lock, []byte("corpse\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-10 * s.tun.lockStale)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	staleInfo, err := os.Stat(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Meanwhile the corpse is cleared and a live owner takes the lock.
+	if err := os.Remove(lock); err != nil {
+		t.Fatal(err)
+	}
+	release, won, err := s.acquire(key)
+	if err != nil || !won {
+		t.Fatal("fresh owner did not win")
+	}
+	defer release()
+
+	if s.steal(lock, key, staleInfo) {
+		t.Fatal("steal succeeded against a fresh lock using a stale stat")
+	}
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatal("fresh lock was removed by the failed steal")
+	}
+}
+
+// TestRunStoreReleaseAfterStealDoesNotRemoveNewLock: an owner whose
+// lock was (legitimately) stolen must not remove the next owner's
+// lock on release — release verifies the token first.
+func TestRunStoreReleaseAfterStealDoesNotRemoveNewLock(t *testing.T) {
+	s := testStore(t)
+	key := "ab5c0nd"
+
+	release1, won, err := s.acquire(key)
+	if err != nil || !won {
+		t.Fatal("first owner did not win")
+	}
+	// Simulate the first owner being presumed dead: its lock is
+	// replaced by a second owner's.
+	if err := os.Remove(s.lockPath(key)); err != nil {
+		t.Fatal(err)
+	}
+	release2, won2, err := s.acquire(key)
+	if err != nil || !won2 {
+		t.Fatal("second owner did not win")
+	}
+	release1() // must NOT remove the second owner's lock
+	if _, err := os.Stat(s.lockPath(key)); err != nil {
+		t.Fatal("first owner's release removed the second owner's lock")
+	}
+	release2()
+	if _, err := os.Stat(s.lockPath(key)); !os.IsNotExist(err) {
+		t.Fatal("second owner's release left its lock behind")
+	}
+}
+
+// TestRunStoreLockWaitDeadline: a peer that heartbeats but never
+// publishes must not wedge the sweep — past waitMax the waiter
+// degrades to simulating without the lock.
+func TestRunStoreLockWaitDeadline(t *testing.T) {
+	s := testStore(t)
+	s.tun.waitMax = 300 * time.Millisecond
+	key := "dead11ne"
+
+	release, won, err := s.acquire(key)
+	if err != nil || !won {
+		t.Fatal("owner did not win")
+	}
+	defer release() // owner "hangs": never publishes, heartbeat keeps running
+
+	before := storeTimeouts.Load()
+	start := time.Now()
+	rel2, won2, err := s.acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won2 {
+		t.Fatal("waiter neither timed out nor won")
+	}
+	rel2()
+	if el := time.Since(start); el < s.tun.waitMax {
+		t.Fatalf("waiter degraded after %v, before the %v deadline", el, s.tun.waitMax)
+	}
+	if storeTimeouts.Load() != before+1 {
+		t.Fatal("degraded wait did not count a timeout")
+	}
+	// The owner still holds its lock: degradation must not remove it.
+	if _, err := os.Stat(s.lockPath(key)); err != nil {
+		t.Fatal("degraded waiter removed the owner's lock")
+	}
+}
+
+// TestRunStoreLockWaitCancellation: a cancelled context aborts the
+// lock wait promptly with the context's error.
+func TestRunStoreLockWaitCancellation(t *testing.T) {
+	s := testStore(t)
+	key := "cance1ed"
+
+	release, won, err := s.acquire(key)
+	if err != nil || !won {
+		t.Fatal("owner did not win")
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s2 := *s
+	s2.ctx = ctx
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s2.acquire(key)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+}
+
+// TestSweepCancellation: Options.Ctx cancellation propagates out of a
+// sweep (the grid stops picking up tasks and lock waits abort).
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the sweep must do no simulation work
+	opt := detOpt()
+	opt.Ctx = ctx
+	if _, err := Fig2(opt); !errors.Is(err, context.Canceled) {
+		// runStartup wraps task errors with app/model context; the
+		// chain must end in context.Canceled.
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+// encodeTrailer appends a valid CRC-32C trailer to an arbitrary
+// payload (test helper for trailing-garbage cases).
+func encodeTrailer(payload []byte) []byte {
+	rec := make([]byte, len(payload), len(payload)+4)
+	copy(rec, payload)
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(payload, crcTable))
+	return append(rec, trailer[:]...)
 }

@@ -1,0 +1,300 @@
+package experiments
+
+// Multi-process stress tests for the run store's cross-process
+// single-flight protocol. The parent re-execs this test binary
+// (os.Executable) with RUNSTORE_CHILD set, selecting
+// TestRunStoreStressChild; each child contends for one store key
+// through the real lock protocol on a shared directory and prints its
+// outcome ("OUTCOME: SIMULATED" or "OUTCOME: LOADED") for the parent
+// to count. Kill-9 injection: the parent SIGKILLs a lock-holding child
+// mid-"simulation", so its heartbeat dies with it and the survivors
+// must steal the stale lock — exactly once.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"codesignvm/internal/experiments/faultfs"
+)
+
+// stressTuning is the child-side protocol tuning: small enough that a
+// stale steal happens in under a second, large enough that heartbeats
+// are never mistaken for death under CI scheduling jitter.
+func stressTuning() storeTuning {
+	return storeTuning{
+		lockStale: 400 * time.Millisecond,
+		heartbeat: 80 * time.Millisecond,
+		pollMin:   5 * time.Millisecond,
+		pollMax:   40 * time.Millisecond,
+		waitMax:   60 * time.Second,
+		gcTmpAge:  time.Hour,
+	}
+}
+
+// TestRunStoreStressChild is the re-exec entry point; it is a skip
+// unless the parent set RUNSTORE_CHILD.
+func TestRunStoreStressChild(t *testing.T) {
+	if os.Getenv("RUNSTORE_CHILD") == "" {
+		t.Skip("re-exec helper for the multi-process stress tests")
+	}
+	s := &runStore{
+		dir: os.Getenv("RUNSTORE_DIR"),
+		fs:  faultfs.Disk{},
+		tun: stressTuning(),
+		ctx: context.Background(),
+	}
+	key := os.Getenv("RUNSTORE_KEY")
+	holdMS, _ := strconv.Atoi(os.Getenv("RUNSTORE_HOLD_MS"))
+
+	// Mirror simulateOrLoad's store path exactly: load, then contend.
+	if res, _ := s.load(key); res != nil {
+		fmt.Println("OUTCOME: LOADED")
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 10 {
+			t.Fatal("child livelocked on the store key")
+		}
+		release, won, err := s.acquire(key)
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if !won {
+			if res, _ := s.load(key); res != nil {
+				fmt.Println("OUTCOME: LOADED")
+				return
+			}
+			continue
+		}
+		if res, _ := s.load(key); res != nil { // double-check under the lock
+			release()
+			fmt.Println("OUTCOME: LOADED")
+			return
+		}
+		// We are the single flight. Signal the parent (so it can kill us
+		// here), "simulate" for the hold time, publish, release.
+		if owner := os.Getenv("RUNSTORE_OWNER_FILE"); owner != "" {
+			if err := os.WriteFile(owner, []byte(strconv.Itoa(os.Getpid())), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(time.Duration(holdMS) * time.Millisecond)
+		if err := s.save(key, sampleResult()); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		release()
+		fmt.Println("OUTCOME: SIMULATED")
+		return
+	}
+}
+
+// stressChild builds the re-exec command for one contender.
+func stressChild(t *testing.T, dir, key string, holdMS int, extraEnv ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestRunStoreStressChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"RUNSTORE_CHILD=1",
+		"RUNSTORE_DIR="+dir,
+		"RUNSTORE_KEY="+key,
+		"RUNSTORE_HOLD_MS="+strconv.Itoa(holdMS),
+	)
+	cmd.Env = append(cmd.Env, extraEnv...)
+	return cmd
+}
+
+// countOutcomes tallies the OUTCOME lines of finished children.
+func countOutcomes(outputs []string) (simulated, loaded int) {
+	for _, out := range outputs {
+		simulated += strings.Count(out, "OUTCOME: SIMULATED")
+		loaded += strings.Count(out, "OUTCOME: LOADED")
+	}
+	return
+}
+
+// assertStoreClean fails if the directory still holds lock files,
+// steal markers or temp debris after the contenders exited.
+func assertStoreClean(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".lock") || strings.Contains(name, ".steal.") || strings.Contains(name, ".tmp") {
+			t.Errorf("store left debris: %s", name)
+		}
+	}
+}
+
+// TestRunStoreMultiProcessSingleFlight: N separate processes contend
+// for one cold key; exactly one simulates, the rest load its published
+// result, and the store is debris-free afterwards.
+func TestRunStoreMultiProcessSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	key := "stress-single-flight"
+
+	const contenders = 6
+	cmds := make([]*exec.Cmd, contenders)
+	outs := make([]string, contenders)
+	for i := range cmds {
+		cmds[i] = stressChild(t, dir, key, 150)
+		outb := &strings.Builder{}
+		cmds[i].Stdout = outb
+		cmds[i].Stderr = outb
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("contender %d failed: %v", i, err)
+		}
+		outs[i] = cmd.Stdout.(*strings.Builder).String()
+	}
+	simulated, loaded := countOutcomes(outs)
+	if simulated != 1 || loaded != contenders-1 {
+		t.Fatalf("want 1 simulated / %d loaded, got %d / %d\n%s",
+			contenders-1, simulated, loaded, strings.Join(outs, "\n---\n"))
+	}
+	assertStoreClean(t, dir)
+
+	// The published record is valid.
+	s := &runStore{dir: dir, fs: faultfs.Disk{}, tun: stressTuning(), ctx: context.Background()}
+	if res, err := s.load(key); res == nil || err != nil {
+		t.Fatalf("published record unreadable: (%v, %v)", res, err)
+	}
+}
+
+// TestRunStoreMultiProcessKillSteal: a lock-holding process takes
+// SIGKILL mid-simulation (heartbeat dies with it); contenders arriving
+// afterwards must steal the stale lock exactly once, re-simulate
+// exactly once, and leave no orphaned locks.
+func TestRunStoreMultiProcessKillSteal(t *testing.T) {
+	dir := t.TempDir()
+	key := "stress-kill-steal"
+	ownerFile := filepath.Join(t.TempDir(), "owner.pid")
+
+	// The victim: wins the cold lock, signals via ownerFile, then
+	// "simulates" far longer than the test runs.
+	victim := stressChild(t, dir, key, 60_000, "RUNSTORE_OWNER_FILE="+ownerFile)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ownerFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatal("victim never took the lock")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// SIGKILL: no deferred cleanup, no release, heartbeat stops.
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+	if _, err := os.Stat(filepath.Join(dir, key+".lock")); err != nil {
+		t.Fatalf("victim's orphaned lock missing before steal: %v", err)
+	}
+
+	const contenders = 5
+	cmds := make([]*exec.Cmd, contenders)
+	outs := make([]string, contenders)
+	for i := range cmds {
+		cmds[i] = stressChild(t, dir, key, 100)
+		outb := &strings.Builder{}
+		cmds[i].Stdout = outb
+		cmds[i].Stderr = outb
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("contender %d failed: %v\n%s", i, err, cmd.Stdout.(*strings.Builder).String())
+		}
+		outs[i] = cmd.Stdout.(*strings.Builder).String()
+	}
+	simulated, loaded := countOutcomes(outs)
+	if simulated != 1 || loaded != contenders-1 {
+		t.Fatalf("after kill-9: want 1 simulated / %d loaded, got %d / %d\n%s",
+			contenders-1, simulated, loaded, strings.Join(outs, "\n---\n"))
+	}
+	assertStoreClean(t, dir)
+	s := &runStore{dir: dir, fs: faultfs.Disk{}, tun: stressTuning(), ctx: context.Background()}
+	if res, err := s.load(key); res == nil || err != nil {
+		t.Fatalf("published record unreadable after steal: (%v, %v)", res, err)
+	}
+}
+
+// TestRunStoreMultiProcessRepeatedKills: several rounds of
+// kill-then-contend against the SAME key directory to shake out steal
+// debris accumulation (markers, graves) across incarnations.
+func TestRunStoreMultiProcessRepeatedKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round re-exec stress")
+	}
+	dir := t.TempDir()
+	for round := 0; round < 3; round++ {
+		key := fmt.Sprintf("stress-round-%d", round)
+		ownerFile := filepath.Join(t.TempDir(), "owner.pid")
+		victim := stressChild(t, dir, key, 60_000, "RUNSTORE_OWNER_FILE="+ownerFile)
+		if err := victim.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if _, err := os.Stat(ownerFile); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				victim.Process.Kill()
+				victim.Wait()
+				t.Fatalf("round %d: victim never took the lock", round)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		victim.Process.Kill()
+		victim.Wait()
+
+		const contenders = 4
+		cmds := make([]*exec.Cmd, contenders)
+		outs := make([]string, contenders)
+		for i := range cmds {
+			cmds[i] = stressChild(t, dir, key, 50)
+			outb := &strings.Builder{}
+			cmds[i].Stdout = outb
+			cmds[i].Stderr = outb
+			if err := cmds[i].Start(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, cmd := range cmds {
+			if err := cmd.Wait(); err != nil {
+				t.Fatalf("round %d contender %d failed: %v", round, i, err)
+			}
+			outs[i] = cmd.Stdout.(*strings.Builder).String()
+		}
+		if simulated, loaded := countOutcomes(outs); simulated != 1 || loaded != contenders-1 {
+			t.Fatalf("round %d: want 1 simulated / %d loaded, got %d / %d",
+				round, contenders-1, simulated, loaded)
+		}
+		assertStoreClean(t, dir)
+	}
+}

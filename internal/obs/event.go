@@ -58,6 +58,17 @@ const (
 	// experiment harnesses (process-level events, tagged with the run).
 	EvStoreHit
 	EvStoreMiss
+	// EvStoreCorrupt is a run-store record failing its checksum or
+	// structural decode and being quarantined to a .bad sidecar:
+	// tag = record key, a = record size in bytes.
+	EvStoreCorrupt
+	// EvStoreSteal is a stale run-store lock being stolen from a
+	// crashed owner: tag = record key, a = the lock's staleness in ns.
+	EvStoreSteal
+	// EvStoreGC is one store garbage-collection sweep that removed
+	// something: tag = store dir, a = debris files removed (tmp, stale
+	// locks, steal markers), b = records evicted by the size cap.
+	EvStoreGC
 	NumEventKinds
 )
 
@@ -78,6 +89,9 @@ var kindInfo = [NumEventKinds]struct {
 	EvRingDrain:    {"ring-drain", "", "reason", "pending", ""},
 	EvStoreHit:     {"store-hit", "", "", "", ""},
 	EvStoreMiss:    {"store-miss", "", "", "", ""},
+	EvStoreCorrupt: {"store-corrupt", "", "bytes", "", ""},
+	EvStoreSteal:   {"store-steal", "", "stale_ns", "", ""},
+	EvStoreGC:      {"store-gc", "", "debris", "evicted", ""},
 }
 
 func (k EventKind) String() string {
@@ -341,6 +355,16 @@ func (o *Observer) Aggregate() Snapshot {
 		snaps[i] = r.Reg.Snapshot()
 	}
 	return Merge(snaps...)
+}
+
+// FullSnapshot is Aggregate plus the process-level registry
+// (runs.started, store.* health counters, …) in one merged view — what
+// the /metrics endpoint serves and -metrics table|json prints.
+func (o *Observer) FullSnapshot() Snapshot {
+	if o == nil {
+		return nil
+	}
+	return Merge(o.Proc.Snapshot(), o.Aggregate())
 }
 
 // RunCount returns how many run recorders have been minted.

@@ -104,10 +104,7 @@ func (o *Observer) Status(info map[string]string) RunsStatus {
 func NewHTTPHandler(o *Observer, info map[string]string) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		var snap Snapshot
-		if o != nil {
-			snap = Merge(o.Proc.Snapshot(), o.Aggregate())
-		}
+		snap := o.FullSnapshot()
 		w.Header().Set("Content-Type", OpenMetricsContentType)
 		snap.WriteOpenMetrics(w)
 	})

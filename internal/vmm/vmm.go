@@ -205,6 +205,13 @@ func (s Sample) AggregateIPC() float64 {
 }
 
 // Result collects everything an experiment needs from one run.
+//
+// Results round-trip through the persistent run store (docs/runstore.md):
+// internal/experiments encodes every field below into a CRC-guarded
+// CRUN2 record and decodes it back bit-exactly. When adding, removing
+// or reordering fields here, update writeResult/readResult in
+// internal/experiments/store.go and bump runSchema there so existing
+// stores miss (and re-simulate) instead of misreading old records.
 type Result struct {
 	Strategy Strategy
 	Cycles   float64

@@ -24,9 +24,6 @@ var DefaultConfig = Config{MaxInsts: 128}
 // cfg.MaxInsts. Complex-class instructions are embedded as VMM callouts
 // and do not terminate the block.
 func Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, error) {
-	if cfg.MaxInsts <= 0 {
-		cfg.MaxInsts = DefaultConfig.MaxInsts
-	}
 	t := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: pc}
 	// Preallocate for the common block shape (a handful of instructions
 	// at 2-4 micro-ops each, one or two exits): the append chains in the
@@ -35,19 +32,48 @@ func Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, 
 	// two backing arrays). Oversized blocks fall back to append growth.
 	t.Uops = make([]fisa.MicroOp, 0, 48)
 	t.Exits = make([]codecache.Exit, 0, 2)
+	if err := translateInto(t, mem, pc, cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Scratch is a reusable translation buffer. Its Translate builds each
+// block into retained backing arrays, so steady-state translation is
+// allocation-free; the returned translation (including its slices) is
+// valid only until the next call and must be copied out — the VMM
+// commits it into a code-cache or shadow arena — before then.
+type Scratch struct {
+	t codecache.Translation
+}
+
+// Translate is Translate into the scratch's reusable storage.
+func (s *Scratch) Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, error) {
+	uops, exits := s.t.Uops[:0], s.t.Exits[:0]
+	s.t = codecache.Translation{Kind: codecache.KindBBT, EntryPC: pc, Uops: uops, Exits: exits}
+	if err := translateInto(&s.t, mem, pc, cfg); err != nil {
+		return nil, err
+	}
+	return &s.t, nil
+}
+
+func translateInto(t *codecache.Translation, mem *x86.Memory, pc uint32, cfg Config) error {
+	if cfg.MaxInsts <= 0 {
+		cfg.MaxInsts = DefaultConfig.MaxInsts
+	}
 	cur := pc
 	defer func() { t.X86Bytes = int(cur - pc) }()
 
 	for n := 0; n < cfg.MaxInsts; n++ {
 		in, err := x86.DecodeMem(mem, cur)
 		if err != nil {
-			return nil, fmt.Errorf("bbt: decode at %#x: %w", cur, err)
+			return fmt.Errorf("bbt: decode at %#x: %w", cur, err)
 		}
 		before := len(t.Uops)
 		var desc crack.Desc
 		t.Uops, desc, err = crack.Crack(t.Uops, &in, cur)
 		if err != nil {
-			return nil, fmt.Errorf("bbt: %#x: %w", cur, err)
+			return fmt.Errorf("bbt: %#x: %w", cur, err)
 		}
 		t.NumX86++
 
@@ -63,7 +89,7 @@ func Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, 
 		appendTerminator(t, &desc, cur)
 		cur = desc.NextPC
 		finish(t)
-		return t, nil
+		return nil
 	}
 
 	// Block length cap reached: end with a synthetic fall-through exit
@@ -71,7 +97,7 @@ func Translate(mem *x86.Memory, pc uint32, cfg Config) (*codecache.Translation, 
 	t.Exits = append(t.Exits, codecache.Exit{Kind: codecache.ExitFall, Target: cur})
 	t.Uops = append(t.Uops, fisa.MicroOp{Op: fisa.UEXIT, W: 4, Imm: int32(len(t.Exits) - 1), X86PC: cur})
 	finish(t)
-	return t, nil
+	return nil
 }
 
 // appendTerminator emits the exit micro-ops and exit descriptors for the

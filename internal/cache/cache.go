@@ -54,6 +54,7 @@ type line struct {
 type Cache struct {
 	cfg      Config
 	lines    []line // nSets × Ways, set-major
+	hint     []byte // per-set most-recently-hit way (purely an accelerator)
 	ways     uint32
 	setShift uint
 	setMask  uint32
@@ -79,6 +80,7 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		cfg:      cfg,
 		lines:    make([]line, nSets*cfg.Ways),
+		hint:     make([]byte, nSets),
 		ways:     uint32(cfg.Ways),
 		setShift: shift,
 		setMask:  uint32(nSets - 1),
@@ -106,14 +108,27 @@ func (c *Cache) Access(addr uint32, write bool) (hit, wroteBack bool) {
 	c.stats.Accesses++
 	tag := addr >> c.setShift
 	key := tag<<1 | 1
-	base := (tag & c.setMask) * c.ways
+	set := tag & c.setMask
+	base := set * c.ways
 	lines := c.lines[base : base+c.ways]
+	// Most-recently-hit way first: accesses to a set overwhelmingly
+	// re-touch the same line, so this usually skips the way scan. The
+	// hint is only ever a guess — the key compare decides — so stale
+	// hints cost one extra compare, never correctness.
+	if h := uint32(c.hint[set]); h < uint32(len(lines)) && lines[h].key == key {
+		lines[h].used = c.tick
+		if write {
+			lines[h].dirty = true
+		}
+		return true, false
+	}
 	for i := range lines {
 		if lines[i].key == key {
 			lines[i].used = c.tick
 			if write {
 				lines[i].dirty = true
 			}
+			c.hint[set] = byte(i)
 			return true, false
 		}
 	}
@@ -134,6 +149,7 @@ func (c *Cache) Access(addr uint32, write bool) (hit, wroteBack bool) {
 		c.stats.Writebacks++
 	}
 	lines[victim] = line{key: key, dirty: write, used: c.tick}
+	c.hint[set] = byte(victim)
 	return false, wroteBack
 }
 

@@ -69,6 +69,21 @@ type Exit struct {
 	Count     uint64       // taken count (profiling)
 }
 
+// ChainRef is one inbound chain edge: exit Exit of From is (or was)
+// chained to the translation holding the ref. Gen snapshots From.Gen at
+// link time so a ref whose source translation has since been recycled
+// (generation bumped by the flush that killed it) is recognized as
+// stale and skipped. Refs form an intrusive list through Next, headed
+// by the target's In pointer; nodes are carved from the arena of the
+// cache holding the target, so they are reclaimed wholesale when that
+// cache flushes — which is also when every target's list dies.
+type ChainRef struct {
+	From *Translation
+	Gen  uint32
+	Exit int32
+	Next *ChainRef
+}
+
 // Translation is one unit of translated code resident in a code cache.
 type Translation struct {
 	Kind    TransKind
@@ -94,6 +109,47 @@ type Translation struct {
 	Epoch     uint64 // cache epoch the translation belongs to
 	Invalid   bool   // superseded (e.g. BBT block replaced by a superblock)
 	Shadow    bool   // hardware-decode shadow block (x86-mode / interpreter), not cache-resident
+
+	// Threaded-dispatch support. The dispatch loop follows Chained
+	// pointers without validity checks, which is sound only if every
+	// event that would invalidate a chain (cache flush, supersede)
+	// eagerly severs the inbound chains instead. In heads the list of
+	// those inbound edges; Unchain severs them. Gen is the reuse
+	// generation: the flush that retires this Translation bumps it
+	// before the struct slot can be recycled, so stale ChainRefs (and
+	// any other keyed pointer) can detect that the memory now belongs
+	// to a different translation.
+	In  *ChainRef
+	Gen uint32
+
+	// DispCat and Profiled are owner (VM) precomputations for the
+	// dispatch fast path: the execution category this translation
+	// dispatches under, and whether hotspot detection must run on each
+	// entry. Both are fixed for the life of the translation under one
+	// strategy.
+	DispCat  uint8
+	Profiled bool
+
+	// FastExec marks the translation as eligible for the fused
+	// execute+timing pass (timing.Engine.ExecBlock): Meta is complete
+	// and the micro-op sequence is strictly linear-with-trampolines (no
+	// UJMP), so the executed micro-ops equal the charged ranges exactly.
+	// Set by timing.AnalyzeWith; zero value (false) selects the split
+	// execute-then-replay path.
+	FastExec bool
+}
+
+// Unchain severs every inbound chain into t: each recorded source exit
+// that still points at t is reset to the unlinked state. Refs whose
+// source translation has been recycled since (generation mismatch) are
+// skipped; refs to dead-but-unrecycled sources are harmless writes.
+func (t *Translation) Unchain() {
+	for r := t.In; r != nil; r = r.Next {
+		if r.From.Gen == r.Gen && r.From.Exits[r.Exit].Chained == t {
+			r.From.Exits[r.Exit].Chained = nil
+		}
+	}
+	t.In = nil
 }
 
 // FusedFraction returns the fraction of micro-ops covered by macro-op
@@ -127,9 +183,13 @@ type Cache struct {
 	table map[uint32]*Translation
 	epoch uint64
 	stats Stats
+	arena *Arena
 }
 
 // New returns an empty code cache occupying [base, base+capacity).
+// The cache owns an arena: Insert copies translations into arena
+// storage and Flush recycles it, so steady-state translation churn
+// costs no heap allocation.
 func New(name string, base, capacity uint32) *Cache {
 	return &Cache{
 		Name:     name,
@@ -137,6 +197,7 @@ func New(name string, base, capacity uint32) *Cache {
 		Capacity: capacity,
 		next:     base,
 		table:    make(map[uint32]*Translation),
+		arena:    NewArena(),
 	}
 }
 
@@ -157,23 +218,37 @@ func (c *Cache) Contains(pc uint32) bool {
 	return ok
 }
 
+// NeedsFlush reports whether inserting a translation of the given
+// encoded size would flush the cache first. Owners that must
+// synchronize external state with a flush (the VMM drains its timing
+// pipeline, because a flush recycles translation storage the consumer
+// may still be reading) check this before calling Insert.
+func (c *Cache) NeedsFlush(size int) bool {
+	sz := uint32(size)
+	return sz != 0 && sz <= c.Capacity && c.next+sz > c.Base+c.Capacity
+}
+
 // Insert allocates space for the translation, assigns its code-cache
-// address, and registers it in the lookup table. When the region is full
-// the cache is flushed first (coarse-grained eviction, as used by most
-// code-cache systems); Insert reports whether a flush occurred so the VMM
-// can account for re-translations.
-func (c *Cache) Insert(t *Translation) (flushed bool, err error) {
+// address, and registers it in the lookup table. The translation is
+// copied into the cache's arena, and the arena copy — the identity all
+// later lookups and chains resolve to — is returned; the argument may
+// be a translator's reusable scratch and is not retained. When the
+// region is full the cache is flushed first (coarse-grained eviction,
+// as used by most code-cache systems); Insert reports whether a flush
+// occurred so the VMM can account for re-translations.
+func (c *Cache) Insert(t *Translation) (inserted *Translation, flushed bool, err error) {
 	size := uint32(t.Size)
 	if size == 0 {
-		return false, fmt.Errorf("codecache: translation for %#x has zero size", t.EntryPC)
+		return nil, false, fmt.Errorf("codecache: translation for %#x has zero size", t.EntryPC)
 	}
 	if size > c.Capacity {
-		return false, fmt.Errorf("codecache: translation (%d bytes) exceeds capacity %d", size, c.Capacity)
+		return nil, false, fmt.Errorf("codecache: translation (%d bytes) exceeds capacity %d", size, c.Capacity)
 	}
 	if c.next+size > c.Base+c.Capacity {
 		c.Flush()
 		flushed = true
 	}
+	t = c.arena.Commit(t)
 	t.Addr = c.next
 	t.Epoch = c.epoch
 	c.next += size
@@ -182,14 +257,32 @@ func (c *Cache) Insert(t *Translation) (flushed bool, err error) {
 	c.table[t.EntryPC] = t
 	c.stats.Inserts++
 	c.stats.BytesAlloced += uint64(size)
-	return flushed, nil
+	return t, flushed, nil
 }
 
 // Flush evicts every translation (the coarse-grained code-cache eviction
 // policy). Chains into the flushed epoch become invalid because the
-// translations are unreachable afterwards.
+// translations are unreachable afterwards; they are severed eagerly so
+// the threaded-dispatch fast path never has to re-validate a chain.
+// The arena is then recycled: every dead translation's generation is
+// bumped (invalidating any ChainRef recorded against it) and its slab
+// aliases dropped before the storage is handed back for reuse. Owners
+// holding derived references — the VMM's jump-TLB entries and, in
+// pipelined mode, in-flight trace records — must discard them before
+// the next dispatch (see VM.onBBTFlush / onSBTFlush).
 func (c *Cache) Flush() {
-	c.table = make(map[uint32]*Translation)
+	for _, t := range c.table {
+		t.Unchain()
+	}
+	for _, t := range c.table {
+		t.Gen++
+		t.Uops = nil
+		t.Exits = nil
+		t.Meta = nil
+		t.In = nil
+	}
+	clear(c.table)
+	c.arena.Reset()
 	c.next = c.Base
 	c.epoch++
 	c.stats.Flushes++
@@ -217,8 +310,18 @@ func (c *Cache) ForEach(fn func(*Translation)) {
 
 // Chain links exit e of from to the translation to (direct chaining).
 // Subsequent transitions through this exit bypass the VMM dispatcher.
+// The inbound edge is recorded on the target so invalidation (flush,
+// supersede) can sever it eagerly. Chain must be called on the cache
+// holding to: the edge node is carved from this cache's arena, so its
+// lifetime must not exceed the target's.
 func (c *Cache) Chain(from *Translation, exitIdx int, to *Translation) {
 	from.Exits[exitIdx].Chained = to
+	r := c.arena.NewRef()
+	r.From = from
+	r.Gen = from.Gen
+	r.Exit = int32(exitIdx)
+	r.Next = to.In
+	to.In = r
 	c.stats.Chains++
 }
 

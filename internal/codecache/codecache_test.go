@@ -17,8 +17,7 @@ func mkTrans(pc uint32, size int) *Translation {
 
 func TestInsertLookup(t *testing.T) {
 	c := New("test", 0x1000, 4096)
-	tr := mkTrans(0x400000, 100)
-	flushed, err := c.Insert(tr)
+	tr, flushed, err := c.Insert(mkTrans(0x400000, 100))
 	if err != nil || flushed {
 		t.Fatalf("insert: %v flushed=%v", err, flushed)
 	}
@@ -39,10 +38,8 @@ func TestInsertLookup(t *testing.T) {
 
 func TestAllocationAlignment(t *testing.T) {
 	c := New("test", 0x1000, 4096)
-	a := mkTrans(0x400000, 10)
-	b := mkTrans(0x400100, 10)
-	c.Insert(a)
-	c.Insert(b)
+	a, _, _ := c.Insert(mkTrans(0x400000, 10))
+	b, _, _ := c.Insert(mkTrans(0x400100, 10))
 	if b.Addr%4 != 0 {
 		t.Errorf("second translation unaligned: %#x", b.Addr)
 	}
@@ -57,7 +54,7 @@ func TestCapacityFlush(t *testing.T) {
 	flushCount := 0
 	for i := 0; i < 10; i++ {
 		tr := mkTrans(uint32(0x400000+i*16), 100)
-		flushed, err := c.Insert(tr)
+		_, flushed, err := c.Insert(tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,27 +77,36 @@ func TestCapacityFlush(t *testing.T) {
 
 func TestOversizeTranslation(t *testing.T) {
 	c := New("test", 0, 256)
-	if _, err := c.Insert(mkTrans(0x1, 512)); err == nil {
+	if _, _, err := c.Insert(mkTrans(0x1, 512)); err == nil {
 		t.Error("oversize insert should fail")
 	}
-	if _, err := c.Insert(&Translation{EntryPC: 2}); err == nil {
+	if _, _, err := c.Insert(&Translation{EntryPC: 2}); err == nil {
 		t.Error("zero-size insert should fail")
 	}
 }
 
 func TestChainingAndEpochs(t *testing.T) {
 	c := New("test", 0, 4096)
-	a := mkTrans(0x400000, 64)
-	b := mkTrans(0x400040, 64)
-	c.Insert(a)
-	c.Insert(b)
+	a, _, _ := c.Insert(mkTrans(0x400000, 64))
+	b, _, _ := c.Insert(mkTrans(0x400040, 64))
 	c.Chain(a, 0, b)
 	if got := c.ValidChain(&a.Exits[0]); got != b {
 		t.Error("chain not followed")
 	}
+	// Unchain (the supersede path) severs the source exit eagerly.
+	b.Unchain()
+	if a.Exits[0].Chained != nil {
+		t.Error("unchain left the source exit linked")
+	}
+	// Flush severs chains the same way before recycling the storage,
+	// and bumps each dead translation's generation so stale ChainRefs
+	// can never resolve to the slot's next occupant. The flushed
+	// translations themselves must not be dereferenced afterwards.
+	c.Chain(a, 0, b)
+	genA, genB := a.Gen, b.Gen
 	c.Flush()
-	if got := c.ValidChain(&a.Exits[0]); got != nil {
-		t.Error("stale chain survived flush")
+	if a.Gen == genA || b.Gen == genB {
+		t.Error("flush did not bump dead translations' generations")
 	}
 }
 

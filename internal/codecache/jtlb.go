@@ -68,6 +68,23 @@ func (j *JTLB) Evict(pc uint32) {
 	}
 }
 
+// EvictKind clears every entry whose translation is a cache-resident
+// block of the given kind. A cache flush recycles its translations'
+// storage, so a stale entry could otherwise pass the owner's validity
+// checks while pointing at a recycled slot that now holds a different
+// (current-epoch) translation. Entries for the other cache's kind and
+// for shadow blocks (never recycled by a flush) keep their future
+// hits, so the jump-TLB hit/miss counts are exactly those of the
+// pre-arena implementation, where a stale entry failed its epoch check
+// and was also counted as a miss.
+func (j *JTLB) EvictKind(kind TransKind) {
+	for i, t := range j.vals {
+		if t != nil && !t.Shadow && t.Kind == kind {
+			j.vals[i] = nil
+		}
+	}
+}
+
 // Reset clears every entry (e.g. across a simulated context switch).
 func (j *JTLB) Reset() {
 	for i := range j.vals {

@@ -60,7 +60,7 @@ func (c *Cache) Load(r io.Reader) (int, error) {
 		if err != nil {
 			return loaded, fmt.Errorf("codecache: load translation %d: %w", i, err)
 		}
-		if _, err := c.Insert(t); err != nil {
+		if _, _, err := c.Insert(t); err != nil {
 			return loaded, err
 		}
 		loaded++

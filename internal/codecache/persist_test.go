@@ -42,7 +42,7 @@ func TestPersistRoundTrip(t *testing.T) {
 	src := New("src", 0x1000, 1<<20)
 	tr := persistFixture()
 	tr.Size = sizeOf(tr)
-	if _, err := src.Insert(tr); err != nil {
+	if _, _, err := src.Insert(tr); err != nil {
 		t.Fatal(err)
 	}
 
@@ -96,7 +96,7 @@ func TestPersistManyTranslations(t *testing.T) {
 		tr := persistFixture()
 		tr.EntryPC = uint32(0x400000 + i*16)
 		tr.Size = sizeOf(tr)
-		if _, err := src.Insert(tr); err != nil {
+		if _, _, err := src.Insert(tr); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -292,7 +292,7 @@ func TestCrackDifferential(t *testing.T) {
 		fillWindow(memC, seed)
 		var nst fisa.NativeState
 		nst.LoadArch(&st0)
-		kind, _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: memC}, uops, 0)
+		kind, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: memC}, uops, 0, &fisa.ExecStats{})
 		if err != nil {
 			t.Fatalf("iter %d (%s): exec %v: %v\nuops: %v", iter, what, in, err, uops)
 		}
@@ -380,7 +380,7 @@ func TestCallPushesReturnAddress(t *testing.T) {
 	var nst fisa.NativeState
 	nst.R[fisa.RESP] = stackTop
 	mem := x86.NewMemory()
-	if _, _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: mem}, uops, 0); err != nil {
+	if _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: mem}, uops, 0, &fisa.ExecStats{}); err != nil {
 		t.Fatal(err)
 	}
 	if nst.R[fisa.RESP] != stackTop-4 {
@@ -405,7 +405,7 @@ func TestRetLoadsTarget(t *testing.T) {
 	nst.R[fisa.RESP] = stackTop
 	mem := x86.NewMemory()
 	mem.Write32(stackTop, 0x123456)
-	if _, _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: mem}, uops, 0); err != nil {
+	if _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: mem}, uops, 0, &fisa.ExecStats{}); err != nil {
 		t.Fatal(err)
 	}
 	if nst.R[desc.TargetReg] != 0x123456 {
@@ -520,7 +520,7 @@ func TestCrackDivMulMicrocode(t *testing.T) {
 			stC := x86.State{EIP: diffCodeBase}
 			tc.init(&stC)
 			nst.LoadArch(&stC)
-			if _, _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: memC}, uops, 0); err != nil {
+			if _, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: memC}, uops, 0, &fisa.ExecStats{}); err != nil {
 				t.Fatalf("exec: %v", err)
 			}
 			var got x86.State

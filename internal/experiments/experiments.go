@@ -37,6 +37,12 @@ type Options struct {
 	// are byte-identical either way (vmm.Config.Pipeline); pipelining
 	// only changes wall-clock time.
 	NoPipeline bool
+	// NoThreadedDispatch disables the direct-threaded dispatch fast
+	// path in every simulated VM (vmm.Config.NoThreadedDispatch).
+	// Reports are byte-identical either way — both dispatchers follow
+	// exactly the same chains; the toggle exists for A/B measurement
+	// and the golden determinism sweep.
+	NoThreadedDispatch bool
 	// FreshRuns bypasses the process-wide simulation-result cache
 	// (the per-(config, app, scale, budget) memoization), forcing
 	// every run to simulate. Used by benchmarks measuring simulation
@@ -87,6 +93,7 @@ type Options struct {
 func (o Options) configFor(m machine.Model) vmm.Config {
 	cfg := machine.Config(m)
 	cfg.Pipeline = !o.NoPipeline
+	cfg.NoThreadedDispatch = o.NoThreadedDispatch
 	if o.HotThreshold > 0 {
 		if cfg.Strategy == vmm.StratInterp {
 			t := o.HotThreshold * 25 / 8000

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// figureHarnesses renders all six paper figures at the detOpt scale.
+// The deliberately excluded surface is the PersistentStartup extension:
+// its FX!32 table iterates a Go map when saving translations, so its
+// warm-start columns are not byte-stable run to run (a pre-existing
+// property, documented in EXPERIMENTS.md) and it is not a paper figure.
+var figureHarnesses = []struct {
+	name string
+	run  func(Options) (string, error)
+}{
+	{"fig2", func(o Options) (string, error) {
+		r, err := Fig2(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatStartup(r, "fig2"), nil
+	}},
+	{"fig3", func(o Options) (string, error) {
+		r, err := Fig3(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig3(r), nil
+	}},
+	{"fig8", func(o Options) (string, error) {
+		r, err := Fig8(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatStartup(r, "fig8"), nil
+	}},
+	{"fig9", func(o Options) (string, error) {
+		r, err := Fig9(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig9(r), nil
+	}},
+	{"fig10", func(o Options) (string, error) {
+		r, err := Fig10(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig10(r), nil
+	}},
+	{"fig11", func(o Options) (string, error) {
+		r, err := Fig11(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatFig11(r), nil
+	}},
+}
+
+// TestGoldenReportsAcrossDispatchModes is the standing determinism
+// contract for the host-side speed machinery: every figure report must
+// be byte-identical across direct-threaded dispatch on/off and
+// sequential/pipelined execution — all four combinations. The golden
+// arm is the most conservative configuration (no threaded dispatch, no
+// pipeline); the other three must reproduce it exactly. FreshRuns
+// keeps every arm actually simulating instead of sharing cached
+// results, and the test forces GOMAXPROCS>=2 so the pipelined arms
+// really pipeline; scripts/ci.sh runs it under -race.
+func TestGoldenReportsAcrossDispatchModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+
+	arms := []struct {
+		name               string
+		noThreaded, noPipe bool
+	}{
+		{"unthreaded-sequential", true, true}, // golden arm
+		{"threaded-sequential", false, true},
+		{"unthreaded-pipelined", true, false},
+		{"threaded-pipelined", false, false},
+	}
+	for _, h := range figureHarnesses {
+		var golden string
+		for i, arm := range arms {
+			o := detOpt()
+			o.Sequential = true // grid parallelism has its own test
+			o.NoThreadedDispatch = arm.noThreaded
+			o.NoPipeline = arm.noPipe
+			got, err := h.run(o)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", h.name, arm.name, err)
+			}
+			if i == 0 {
+				golden = got
+				continue
+			}
+			if got != golden {
+				t.Errorf("%s: %s report differs from %s\n--- %s ---\n%s--- %s ---\n%s",
+					h.name, arm.name, arms[0].name, arms[0].name, golden, arm.name, got)
+			}
+		}
+	}
+}

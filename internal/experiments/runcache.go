@@ -13,8 +13,9 @@ import (
 // runKey identifies one deterministic simulation: the full machine
 // configuration plus the workload identity and instruction budget.
 // vmm.Config is a flat value type, so the key is comparable. The
-// host-side execution mode (Pipeline) is normalized out: sequential and
-// pipelined runs produce byte-identical results, so they share a slot.
+// host-side execution modes (Pipeline, NoThreadedDispatch) are
+// normalized out: all of them produce byte-identical results, so they
+// share a slot.
 type runKey struct {
 	cfg    vmm.Config
 	app    string
@@ -24,6 +25,7 @@ type runKey struct {
 
 func newRunKey(cfg vmm.Config, app string, scale int, instrs uint64) runKey {
 	cfg.Pipeline = false
+	cfg.NoThreadedDispatch = false
 	return runKey{cfg, app, scale, instrs}
 }
 

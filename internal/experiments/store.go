@@ -155,10 +155,12 @@ func (o Options) ctx() context.Context {
 }
 
 // runFileKey derives the content-hash key of one simulation. The
-// host-side execution mode (Pipeline) is normalized out: both modes
-// produce byte-identical results, so they share one store entry.
+// host-side execution modes (Pipeline, NoThreadedDispatch) are
+// normalized out: all of them produce byte-identical results, so they
+// share one store entry.
 func runFileKey(cfg vmm.Config, app string, scale int, instrs uint64) string {
 	cfg.Pipeline = false
+	cfg.NoThreadedDispatch = false
 	h := sha256.New()
 	fmt.Fprintf(h, "v%d\n%#v\n%s\n%d\n%d\n", runSchema, cfg, app, scale, instrs)
 	return hex.EncodeToString(h.Sum(nil))[:32]

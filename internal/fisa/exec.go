@@ -52,6 +52,28 @@ type BranchProbe interface {
 	OnBranch(pc uint32, taken bool)
 }
 
+// Event kinds recorded in Env.Events.
+const (
+	EvLoad uint8 = iota
+	EvStore
+	EvBr      // conditional branch, not taken
+	EvBrTaken // conditional branch, taken
+)
+
+// Event is one deferred probe observation. When Env.Events is non-nil,
+// Exec appends an Event per data access and conditional branch instead
+// of calling the Probe/Branch interfaces, and the caller replays the
+// buffer after the linear pass completes. Replay preserves the exact
+// relative order of observations, so any consumer state (cache LRU,
+// predictor history) evolves identically to the interface path; the
+// only requirement is that the caller replays before charging timing
+// for the segment.
+type Event struct {
+	Addr uint32 // data address (loads/stores) or branch x86 PC (branches)
+	Kind uint8
+	Size uint8 // access width in bytes (loads/stores only)
+}
+
 // StopKind says why translation execution stopped.
 type StopKind uint8
 
@@ -77,14 +99,21 @@ type ExecStats struct {
 }
 
 // Env bundles the machine context translations execute against.
+//
+// Events, when non-nil (and the corresponding probe nil), puts Exec in
+// deferred-observation mode: an Event is appended per observation
+// instead of a probe call (including branch outcomes even when Branch
+// is nil — the replayer filters). The slice is grown with append, so
+// the caller must read it back from Env after Exec returns.
 type Env struct {
 	St     *NativeState
 	Mem    *x86.Memory
-	Probe  MemProbe    // optional
-	Branch BranchProbe // optional
+	Probe  MemProbe    // optional; takes precedence over Events
+	Branch BranchProbe // optional; takes precedence over Events
+	Events []Event     // optional deferred-observation buffer
 }
 
-func writeMerged(st *NativeState, dst Reg, v uint32, w uint8) {
+func WriteMerged(st *NativeState, dst Reg, v uint32, w uint8) {
 	switch w {
 	case 1:
 		st.R[dst] = st.R[dst]&^uint32(0xFF) | (v & 0xFF)
@@ -96,13 +125,16 @@ func writeMerged(st *NativeState, dst Reg, v uint32, w uint8) {
 }
 
 // Exec runs the micro-op sequence starting at index start until it
-// reaches an UEXIT or UCALLOUT. It returns the stop kind, the index of
-// the stopping micro-op, and execution statistics.
+// reaches an UEXIT or UCALLOUT. It returns the stop kind and the index
+// of the stopping micro-op, and fills *out with execution statistics
+// (out is reset at entry; the caller owns accumulation across legs).
+// The out-parameter shape keeps the 56-byte stats struct off the return
+// path of the hottest call in the simulator.
 //
 // Branch targets (UBR/UJMP immediates) are absolute micro-op indices
 // within uops. The function is the single functional-semantics engine for
 // all translated-code execution in the VM.
-func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error) {
+func Exec(env *Env, uops []MicroOp, start int, out *ExecStats) (StopKind, int, error) {
 	st := env.St
 	mem := env.Mem
 	var stats ExecStats
@@ -111,7 +143,8 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 
 	for i := start; ; {
 		if i < 0 || i >= len(uops) {
-			return 0, 0, stats, fmt.Errorf("fisa: control flow escaped translation (index %d of %d)", i, len(uops))
+			*out = stats
+			return 0, 0, fmt.Errorf("fisa: control flow escaped translation (index %d of %d)", i, len(uops))
 		}
 		u := &uops[i]
 		stats.Uops++
@@ -134,26 +167,26 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 			st.R[u.Dst] |= uint32(u.Imm) & 0xFFFF
 
 		case UMOV:
-			writeMerged(st, u.Dst, st.R[u.Src1], u.W)
+			WriteMerged(st, u.Dst, st.R[u.Src1], u.W)
 
 		case UADD, USUB, UADC, USBB, UAND, UOR, UXOR, UMUL:
 			a, b := st.R[u.Src1], st.R[u.Src2]
 			if u.SetF {
-				res, fl := aluCompute(u.Op, a, b, st.Flags, u.W)
+				res, fl := AluCompute(u.Op, a, b, st.Flags, u.W)
 				st.Flags = fl
-				writeMerged(st, u.Dst, res, u.W)
+				WriteMerged(st, u.Dst, res, u.W)
 			} else {
-				writeMerged(st, u.Dst, aluValue(u.Op, a, b, st.Flags), u.W)
+				WriteMerged(st, u.Dst, AluValue(u.Op, a, b, st.Flags), u.W)
 			}
 
 		case UADDI, USUBI, UANDI, UORI, UXORI:
 			a, b := st.R[u.Src1], uint32(u.Imm)
 			if u.SetF {
-				res, fl := aluCompute(immBase(u.Op), a, b, st.Flags, u.W)
+				res, fl := AluCompute(ImmBase(u.Op), a, b, st.Flags, u.W)
 				st.Flags = fl
-				writeMerged(st, u.Dst, res, u.W)
+				WriteMerged(st, u.Dst, res, u.W)
 			} else {
-				writeMerged(st, u.Dst, aluValue(immBase(u.Op), a, b, st.Flags), u.W)
+				WriteMerged(st, u.Dst, AluValue(ImmBase(u.Op), a, b, st.Flags), u.W)
 			}
 
 		case USHL, USHLI, USHR, USHRI, USAR, USARI, UROL, UROLI, UROR, URORI:
@@ -182,31 +215,31 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 			if u.SetF {
 				st.Flags = fl
 			}
-			writeMerged(st, u.Dst, res, u.W)
+			WriteMerged(st, u.Dst, res, u.W)
 
 		case UNEG:
 			a := st.R[u.Src1]
 			if u.SetF {
 				st.Flags = x86.FlagsNeg(a, u.W)
 			}
-			writeMerged(st, u.Dst, -a, u.W)
+			WriteMerged(st, u.Dst, -a, u.W)
 
 		case UNOT:
-			writeMerged(st, u.Dst, ^st.R[u.Src1], u.W)
+			WriteMerged(st, u.Dst, ^st.R[u.Src1], u.W)
 
 		case UINC:
 			a := st.R[u.Src1]
 			if u.SetF {
 				st.Flags = x86.FlagsInc(st.Flags, a, u.W)
 			}
-			writeMerged(st, u.Dst, a+1, u.W)
+			WriteMerged(st, u.Dst, a+1, u.W)
 
 		case UDEC:
 			a := st.R[u.Src1]
 			if u.SetF {
 				st.Flags = x86.FlagsDec(st.Flags, a, u.W)
 			}
-			writeMerged(st, u.Dst, a-1, u.W)
+			WriteMerged(st, u.Dst, a-1, u.W)
 
 		case UMULHU:
 			full := uint64(st.R[u.Src1]) * uint64(st.R[u.Src2])
@@ -232,12 +265,14 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 		case UDIVQ, UDIVR:
 			divisor := uint64(st.R[u.Src1])
 			if divisor == 0 {
-				return 0, 0, stats, fmt.Errorf("fisa: divide fault at µop %d", i)
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide fault at µop %d", i)
 			}
 			dividend := uint64(st.R[REDX])<<32 | uint64(st.R[REAX])
 			q := dividend / divisor
 			if q > 0xFFFFFFFF {
-				return 0, 0, stats, fmt.Errorf("fisa: divide overflow at µop %d", i)
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide overflow at µop %d", i)
 			}
 			if u.Op == UDIVQ {
 				st.R[u.Dst] = uint32(q)
@@ -248,12 +283,14 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 		case UIDIVQ, UIDIVR:
 			divisor := int64(int32(st.R[u.Src1]))
 			if divisor == 0 {
-				return 0, 0, stats, fmt.Errorf("fisa: divide fault at µop %d", i)
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide fault at µop %d", i)
 			}
 			dividend := int64(uint64(st.R[REDX])<<32 | uint64(st.R[REAX]))
 			q := dividend / divisor
 			if q > 0x7FFFFFFF || q < -0x80000000 {
-				return 0, 0, stats, fmt.Errorf("fisa: divide overflow at µop %d", i)
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide overflow at µop %d", i)
 			}
 			if u.Op == UIDIVQ {
 				st.R[u.Dst] = uint32(int32(q))
@@ -279,6 +316,8 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 			stats.Loads++
 			if env.Probe != nil {
 				env.Probe.OnLoad(addr, u.MemWidth())
+			} else if env.Events != nil {
+				env.Events = append(env.Events, Event{Addr: addr, Kind: EvLoad, Size: u.MemWidth()})
 			}
 			switch u.Op {
 			case ULD:
@@ -298,6 +337,8 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 			stats.Stores++
 			if env.Probe != nil {
 				env.Probe.OnStore(addr, u.MemWidth())
+			} else if env.Events != nil {
+				env.Events = append(env.Events, Event{Addr: addr, Kind: EvStore, Size: u.MemWidth()})
 			}
 			switch u.Op {
 			case UST:
@@ -313,15 +354,15 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 		case UCMPI:
 			st.Flags = x86.FlagsSub(st.R[u.Src1], uint32(u.Imm), u.W)
 		case UTEST:
-			mask := maskOf(u.W)
+			mask := MaskOf(u.W)
 			st.Flags = x86.FlagsLogic(st.R[u.Src1]&st.R[u.Src2]&mask, u.W)
 		case UTESTI:
-			mask := maskOf(u.W)
+			mask := MaskOf(u.W)
 			st.Flags = x86.FlagsLogic(st.R[u.Src1]&uint32(u.Imm)&mask, u.W)
 
 		case UCMOV:
 			if u.Cond.Holds(st.Flags) {
-				writeMerged(st, u.Dst, st.R[u.Src1], u.W)
+				WriteMerged(st, u.Dst, st.R[u.Src1], u.W)
 			}
 
 		case USETC:
@@ -329,12 +370,18 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 			if u.Cond.Holds(st.Flags) {
 				v = 1
 			}
-			writeMerged(st, u.Dst, v, 1)
+			WriteMerged(st, u.Dst, v, 1)
 
 		case UBR:
 			taken := u.Cond.Holds(st.Flags)
 			if env.Branch != nil {
 				env.Branch.OnBranch(u.X86PC, taken)
+			} else if env.Events != nil {
+				k := EvBr
+				if taken {
+					k = EvBrTaken
+				}
+				env.Events = append(env.Events, Event{Addr: u.X86PC, Kind: k})
 			}
 			if taken {
 				stats.TakenBranchIdx = i
@@ -347,19 +394,22 @@ func Exec(env *Env, uops []MicroOp, start int) (StopKind, int, ExecStats, error)
 			continue
 
 		case UEXIT:
-			return StopExit, i, stats, nil
+			*out = stats
+			return StopExit, i, nil
 
 		case UCALLOUT:
-			return StopCallout, i, stats, nil
+			*out = stats
+			return StopCallout, i, nil
 
 		default:
-			return 0, 0, stats, fmt.Errorf("fisa: cannot execute %v", u.Op)
+			*out = stats
+			return 0, 0, fmt.Errorf("fisa: cannot execute %v", u.Op)
 		}
 		i++
 	}
 }
 
-func maskOf(w uint8) uint32 {
+func MaskOf(w uint8) uint32 {
 	switch w {
 	case 1:
 		return 0xFF
@@ -370,7 +420,7 @@ func maskOf(w uint8) uint32 {
 	}
 }
 
-func immBase(op Op) Op {
+func ImmBase(op Op) Op {
 	switch op {
 	case UADDI:
 		return UADD
@@ -386,12 +436,12 @@ func immBase(op Op) Op {
 	return op
 }
 
-// aluValue computes just the result of aluCompute for flag-dead ALU
+// AluValue computes just the result of AluCompute for flag-dead ALU
 // micro-ops (stack-pointer updates, address arithmetic). Sub-width
-// results need no masking here: writeMerged merges only the low bits,
+// results need no masking here: WriteMerged merges only the low bits,
 // and addition/subtraction/multiplication are congruent mod 2^width, so
-// the merged value matches aluCompute's masked result bit for bit.
-func aluValue(op Op, a, b uint32, old x86.Flags) uint32 {
+// the merged value matches AluCompute's masked result bit for bit.
+func AluValue(op Op, a, b uint32, old x86.Flags) uint32 {
 	switch op {
 	case UADD:
 		return a + b
@@ -419,8 +469,8 @@ func aluValue(op Op, a, b uint32, old x86.Flags) uint32 {
 	return 0
 }
 
-func aluCompute(op Op, a, b uint32, old x86.Flags, w uint8) (uint32, x86.Flags) {
-	mask := maskOf(w)
+func AluCompute(op Op, a, b uint32, old x86.Flags, w uint8) (uint32, x86.Flags) {
+	mask := MaskOf(w)
 	am, bm := a&mask, b&mask
 	switch op {
 	case UADD:

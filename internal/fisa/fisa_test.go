@@ -181,7 +181,8 @@ func execProgram(t *testing.T, uops []MicroOp, init func(*NativeState, *x86.Memo
 	if init != nil {
 		init(st, mem)
 	}
-	kind, idx, stats, err := Exec(&Env{St: st, Mem: mem}, uops, 0)
+	var stats ExecStats
+	kind, idx, err := Exec(&Env{St: st, Mem: mem}, uops, 0, &stats)
 	if err != nil {
 		t.Fatalf("exec: %v", err)
 	}
@@ -322,7 +323,8 @@ func TestExecCallout(t *testing.T) {
 	}
 	st := &NativeState{}
 	mem := x86.NewMemory()
-	kind, idx, _, err := Exec(&Env{St: st, Mem: mem}, uops, 0)
+	var st2 ExecStats
+	kind, idx, err := Exec(&Env{St: st, Mem: mem}, uops, 0, &st2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +332,7 @@ func TestExecCallout(t *testing.T) {
 		t.Errorf("stop = %v at %d", kind, idx)
 	}
 	// Resume after the callout.
-	kind, idx, _, err = Exec(&Env{St: st, Mem: mem}, uops, idx+1)
+	kind, idx, err = Exec(&Env{St: st, Mem: mem}, uops, idx+1, &st2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +343,7 @@ func TestExecCallout(t *testing.T) {
 
 func TestExecEscapeError(t *testing.T) {
 	uops := []MicroOp{{Op: UNOP, W: 4}}
-	_, _, _, err := Exec(&Env{St: &NativeState{}, Mem: x86.NewMemory()}, uops, 0)
+	_, _, err := Exec(&Env{St: &NativeState{}, Mem: x86.NewMemory()}, uops, 0, &ExecStats{})
 	if err == nil {
 		t.Fatal("expected escape error for translation without exit")
 	}

@@ -67,7 +67,8 @@ func TestExecutorNeverDivergesOnRandomStraightLine(t *testing.T) {
 		st := &NativeState{}
 		st.R[RV0] = 0x100000
 		mem := x86.NewMemory()
-		kind, idx, stats, err := Exec(&Env{St: st, Mem: mem}, uops, 0)
+		var stats ExecStats
+		kind, idx, err := Exec(&Env{St: st, Mem: mem}, uops, 0, &stats)
 		if err != nil {
 			t.Fatalf("iter %d: %v (uops %v)", i, err, uops)
 		}

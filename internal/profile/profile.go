@@ -34,7 +34,16 @@ type Detector interface {
 type Software struct {
 	Threshold uint64
 	regions   map[uint32]*swRegion
+	// chunk carves region entries in blocks: entry pointers must stay
+	// stable (the map holds them), so the full chunk is allocated up
+	// front and a fresh one replaces it when exhausted, costing one
+	// allocation per swChunk regions instead of one per region.
+	chunk []swRegion
 }
+
+// swChunk is the region-entry carve block size (a detector covers one
+// program's touched static blocks — typically hundreds to thousands).
+const swChunk = 1024
 
 type swRegion struct {
 	count    uint64
@@ -46,7 +55,7 @@ type swRegion struct {
 func NewSoftware(threshold uint64) *Software {
 	return &Software{
 		Threshold: threshold,
-		regions:   make(map[uint32]*swRegion),
+		regions:   make(map[uint32]*swRegion, swChunk),
 	}
 }
 
@@ -54,7 +63,11 @@ func NewSoftware(threshold uint64) *Software {
 func (s *Software) RecordEntry(pc uint32, instrs int) bool {
 	r := s.regions[pc]
 	if r == nil {
-		r = &swRegion{}
+		if len(s.chunk) == cap(s.chunk) {
+			s.chunk = make([]swRegion, 0, swChunk)
+		}
+		s.chunk = append(s.chunk, swRegion{})
+		r = &s.chunk[len(s.chunk)-1]
 		s.regions[pc] = r
 	}
 	r.count++

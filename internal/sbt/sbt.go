@@ -46,6 +46,9 @@ type former struct {
 	seen     map[uint32]bool
 	numX86   int
 	x86Bytes int
+
+	t   codecache.Translation
+	pos []int32
 }
 
 func (f *former) addExit(e codecache.Exit) int32 {
@@ -55,23 +58,48 @@ func (f *former) addExit(e codecache.Exit) int32 {
 
 // Form builds and optimizes the superblock starting at entry.
 func Form(mem *x86.Memory, entry uint32, edges *profile.EdgeProfile, cfg Config) (*codecache.Translation, error) {
+	var fo Former
+	return fo.Form(mem, entry, edges, cfg)
+}
+
+// Former is a reusable superblock builder. Its Form builds each
+// superblock into retained backing storage, so repeated formation is
+// (nearly) allocation-free; the returned translation and its slices
+// are valid only until the next call and must be copied out — the VMM
+// commits it into the SBT cache's arena — before then.
+type Former struct {
+	f former
+}
+
+// Form is the package-level Form into the Former's reusable storage.
+func (fo *Former) Form(mem *x86.Memory, entry uint32, edges *profile.EdgeProfile, cfg Config) (*codecache.Translation, error) {
 	if cfg.MaxInsts <= 0 {
 		cfg = DefaultConfig
 	}
-	f := &former{cfg: cfg, mem: mem, edges: edges, seen: map[uint32]bool{}}
+	f := &fo.f
+	f.cfg, f.mem, f.edges = cfg, mem, edges
+	f.body = f.body[:0]
+	f.exits = f.exits[:0]
+	if f.seen == nil {
+		f.seen = map[uint32]bool{}
+	} else {
+		clear(f.seen)
+	}
+	f.numX86, f.x86Bytes = 0, 0
 
 	terminal, err := f.follow(entry)
 	if err != nil {
 		return nil, err
 	}
 
-	t := &codecache.Translation{
+	f.t = codecache.Translation{
 		Kind:     codecache.KindSBT,
 		EntryPC:  entry,
 		NumX86:   f.numX86,
 		X86Bytes: f.x86Bytes,
 		Exits:    f.exits,
 	}
+	t := &f.t
 
 	body := f.body
 	if cfg.EnableCopyProp {
@@ -87,7 +115,14 @@ func Form(mem *x86.Memory, entry uint32, edges *profile.EdgeProfile, cfg Config)
 	// Final layout: body, then the terminal exit trampoline (reached by
 	// falling off the body), then side-exit trampolines. UBR immediates
 	// are patched from symbolic exit indices to micro-op indices.
-	pos := make([]int32, len(t.Exits))
+	// Every index of pos is assigned below (terminal plus each side
+	// exit), so the reused buffer needs no zeroing.
+	if cap(f.pos) >= len(t.Exits) {
+		f.pos = f.pos[:len(t.Exits)]
+	} else {
+		f.pos = make([]int32, len(t.Exits))
+	}
+	pos := f.pos
 	next := int32(len(body))
 	pos[terminal] = next
 	next++

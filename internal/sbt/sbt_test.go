@@ -151,7 +151,7 @@ func TestSuperblockDifferential(t *testing.T) {
 			nst.R[fisa.REAX] = tc.eax
 			nst.R[fisa.REDX] = 5
 			nst.R[fisa.RECX] = 3
-			kind, idx, _, err := fisa.Exec(&fisa.Env{St: &nst, Mem: mem}, tr.Uops, 0)
+			kind, idx, err := fisa.Exec(&fisa.Env{St: &nst, Mem: mem}, tr.Uops, 0, &fisa.ExecStats{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,399 @@
+package timing
+
+import (
+	"fmt"
+
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/x86"
+)
+
+// ExecBlock is the fused execute+timing pass: one walk over t.Uops does
+// both the functional work of fisa.Exec and the per-entity dataflow
+// charge of ChargeBlock, eliminating the second walk, the probe
+// interface calls and the load-latency/branch-bubble queues of the
+// split execute-then-replay path.
+//
+// It is bit-identical to running fisa.Exec followed by ChargeBlock over
+// the executed ranges, because
+//
+//   - cache and predictor accesses happen in the same program order
+//     (functional order) in both modes, and the issue arithmetic never
+//     touches either, so the hierarchies observe identical sequences;
+//   - the issue step below is the verbatim statement sequence of
+//     ChargeBlock (which is itself pinned to ChargeRange by
+//     TestChargeBlockMatchesChargeRange), fed the same source-ready
+//     times, latencies and bubbles — a load's latency computed inline
+//     equals the value the split path queues and pops, since the queues
+//     are empty at leg boundaries in both modes;
+//   - eligibility (Translation.FastExec) requires an analyzed
+//     translation with no internal UJMP, so the executed micro-ops are
+//     exactly the charged linear ranges: the entities issued here are
+//     the entities ChargeBlock would walk, in the same order.
+//
+// The callers' contract matches fisa.Exec: execution starts at start,
+// stops at UEXIT or UCALLOUT (whose entity is issued before returning,
+// as the split path's range charge includes it), *out is filled with
+// the leg's statistics. On an error the engine state reflects the
+// entities issued so far (the split path charges nothing for a faulted
+// leg; errors abort the whole run, so the difference is unobservable).
+//
+// The functional switch mirrors fisa.Exec case for case; the two are
+// pinned together by the figure-level golden tests and the lockstep
+// test in execblock_test.go.
+func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.Translation, start int, out *fisa.ExecStats) (fisa.StopKind, int, error) {
+	uops := t.Uops
+	meta := t.Meta
+	if len(meta) < len(uops) {
+		return 0, 0, fmt.Errorf("timing: ExecBlock on unanalyzed translation at %#x", t.EntryPC)
+	}
+	meta = meta[:len(uops)]
+
+	var stats fisa.ExecStats
+	stats.TakenBranchIdx = -1
+
+	// Dataflow state in locals, exactly as in ChargeBlock.
+	clock, lastRetire := e.clock, e.lastRetire
+	ring, ringIdx := e.ring, e.ringIdx
+	invWidth := e.invWidth
+	flagReady := e.flagReady
+	regReady := &e.regReady
+
+	// Current-entity state, captured at the entity head (ChargeBlock
+	// reads the head's metadata and steps over the tail).
+	var em *codecache.UopMeta
+	entLat := 0.0 // em.Lat, overridden by a load's true hierarchy latency
+	brPen := 0.0  // misprediction bubble of the entity's branch (0 = hit)
+	inPair := false
+	brTaken := false
+	brTarget := 0
+	var stop fisa.StopKind
+	stopped := false
+
+	for i := start; ; {
+		if i < 0 || i >= len(uops) {
+			e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+			*out = stats
+			return 0, 0, fmt.Errorf("timing: control flow escaped translation (index %d of %d)", i, len(uops))
+		}
+		u := &uops[i]
+		stats.Uops++
+		stats.Boundaries += int(u.Boundary)
+		if inPair {
+			inPair = false
+		} else {
+			stats.Entities++
+			em = &meta[i]
+			entLat = em.Lat
+			brPen = 0
+			inPair = u.Fused && i+1 < len(uops)
+		}
+
+		switch u.Op {
+		case fisa.UNOP:
+
+		case fisa.UMOVI:
+			st.R[u.Dst] = uint32(u.Imm)
+		case fisa.UMOVIU:
+			st.R[u.Dst] = uint32(u.Imm) << 16
+		case fisa.UORILO:
+			st.R[u.Dst] |= uint32(u.Imm) & 0xFFFF
+
+		case fisa.UMOV:
+			fisa.WriteMerged(st, u.Dst, st.R[u.Src1], u.W)
+
+		case fisa.UADD, fisa.USUB, fisa.UADC, fisa.USBB, fisa.UAND, fisa.UOR, fisa.UXOR, fisa.UMUL:
+			a, b := st.R[u.Src1], st.R[u.Src2]
+			if u.SetF {
+				res, fl := fisa.AluCompute(u.Op, a, b, st.Flags, u.W)
+				st.Flags = fl
+				fisa.WriteMerged(st, u.Dst, res, u.W)
+			} else {
+				fisa.WriteMerged(st, u.Dst, fisa.AluValue(u.Op, a, b, st.Flags), u.W)
+			}
+
+		case fisa.UADDI, fisa.USUBI, fisa.UANDI, fisa.UORI, fisa.UXORI:
+			a, b := st.R[u.Src1], uint32(u.Imm)
+			if u.SetF {
+				res, fl := fisa.AluCompute(fisa.ImmBase(u.Op), a, b, st.Flags, u.W)
+				st.Flags = fl
+				fisa.WriteMerged(st, u.Dst, res, u.W)
+			} else {
+				fisa.WriteMerged(st, u.Dst, fisa.AluValue(fisa.ImmBase(u.Op), a, b, st.Flags), u.W)
+			}
+
+		case fisa.USHL, fisa.USHLI, fisa.USHR, fisa.USHRI, fisa.USAR, fisa.USARI,
+			fisa.UROL, fisa.UROLI, fisa.UROR, fisa.URORI:
+			a := st.R[u.Src1]
+			var count uint8
+			switch u.Op {
+			case fisa.USHLI, fisa.USHRI, fisa.USARI, fisa.UROLI, fisa.URORI:
+				count = uint8(u.Imm)
+			default:
+				count = uint8(st.R[u.Src2])
+			}
+			var res uint32
+			var fl x86.Flags
+			switch u.Op {
+			case fisa.USHL, fisa.USHLI:
+				res, fl = x86.FlagsShl(st.Flags, a, count, u.W)
+			case fisa.USHR, fisa.USHRI:
+				res, fl = x86.FlagsShr(st.Flags, a, count, u.W)
+			case fisa.UROL, fisa.UROLI:
+				res, fl = x86.FlagsRol(st.Flags, a, count, u.W)
+			case fisa.UROR, fisa.URORI:
+				res, fl = x86.FlagsRor(st.Flags, a, count, u.W)
+			default:
+				res, fl = x86.FlagsSar(st.Flags, a, count, u.W)
+			}
+			if u.SetF {
+				st.Flags = fl
+			}
+			fisa.WriteMerged(st, u.Dst, res, u.W)
+
+		case fisa.UNEG:
+			a := st.R[u.Src1]
+			if u.SetF {
+				st.Flags = x86.FlagsNeg(a, u.W)
+			}
+			fisa.WriteMerged(st, u.Dst, -a, u.W)
+
+		case fisa.UNOT:
+			fisa.WriteMerged(st, u.Dst, ^st.R[u.Src1], u.W)
+
+		case fisa.UINC:
+			a := st.R[u.Src1]
+			if u.SetF {
+				st.Flags = x86.FlagsInc(st.Flags, a, u.W)
+			}
+			fisa.WriteMerged(st, u.Dst, a+1, u.W)
+
+		case fisa.UDEC:
+			a := st.R[u.Src1]
+			if u.SetF {
+				st.Flags = x86.FlagsDec(st.Flags, a, u.W)
+			}
+			fisa.WriteMerged(st, u.Dst, a-1, u.W)
+
+		case fisa.UMULHU:
+			full := uint64(st.R[u.Src1]) * uint64(st.R[u.Src2])
+			hi := uint32(full >> 32)
+			if u.SetF {
+				st.Flags = st.Flags &^ (x86.FlagCF | x86.FlagOF)
+				if hi != 0 {
+					st.Flags |= x86.FlagCF | x86.FlagOF
+				}
+			}
+			st.R[u.Dst] = hi
+
+		case fisa.UMULHS:
+			full := int64(int32(st.R[u.Src1])) * int64(int32(st.R[u.Src2]))
+			if u.SetF {
+				st.Flags = st.Flags &^ (x86.FlagCF | x86.FlagOF)
+				if full != int64(int32(full)) {
+					st.Flags |= x86.FlagCF | x86.FlagOF
+				}
+			}
+			st.R[u.Dst] = uint32(full >> 32)
+
+		case fisa.UDIVQ, fisa.UDIVR:
+			divisor := uint64(st.R[u.Src1])
+			if divisor == 0 {
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide fault at µop %d", i)
+			}
+			dividend := uint64(st.R[fisa.REDX])<<32 | uint64(st.R[fisa.REAX])
+			q := dividend / divisor
+			if q > 0xFFFFFFFF {
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide overflow at µop %d", i)
+			}
+			if u.Op == fisa.UDIVQ {
+				st.R[u.Dst] = uint32(q)
+			} else {
+				st.R[u.Dst] = uint32(dividend % divisor)
+			}
+
+		case fisa.UIDIVQ, fisa.UIDIVR:
+			divisor := int64(int32(st.R[u.Src1]))
+			if divisor == 0 {
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide fault at µop %d", i)
+			}
+			dividend := int64(uint64(st.R[fisa.REDX])<<32 | uint64(st.R[fisa.REAX]))
+			q := dividend / divisor
+			if q > 0x7FFFFFFF || q < -0x80000000 {
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				*out = stats
+				return 0, 0, fmt.Errorf("fisa: divide overflow at µop %d", i)
+			}
+			if u.Op == fisa.UIDIVQ {
+				st.R[u.Dst] = uint32(int32(q))
+			} else {
+				st.R[u.Dst] = uint32(int32(dividend % divisor))
+			}
+
+		case fisa.UEXT8H:
+			st.R[u.Dst] = (st.R[u.Src1] >> 8) & 0xFF
+		case fisa.UINS8H:
+			st.R[u.Dst] = st.R[u.Dst]&^uint32(0xFF00) | ((st.R[u.Src1] & 0xFF) << 8)
+		case fisa.USEXT8:
+			st.R[u.Dst] = uint32(int32(int8(st.R[u.Src1])))
+		case fisa.USEXT16:
+			st.R[u.Dst] = uint32(int32(int16(st.R[u.Src1])))
+		case fisa.UZEXT8:
+			st.R[u.Dst] = st.R[u.Src1] & 0xFF
+		case fisa.UZEXT16:
+			st.R[u.Dst] = st.R[u.Src1] & 0xFFFF
+
+		case fisa.ULD, fisa.ULD8Z, fisa.ULD8S, fisa.ULD16Z, fisa.ULD16S:
+			addr := st.R[u.Src1] + uint32(u.Imm)
+			stats.Loads++
+			// The split path queues this exact value (Engine.OnLoad) and
+			// pops it when the entity is charged.
+			entLat = float64(e.P.LoadLatency + e.Caches.DataPenalty(addr, false))
+			switch u.Op {
+			case fisa.ULD:
+				st.R[u.Dst] = mem.Read32(addr)
+			case fisa.ULD8Z:
+				st.R[u.Dst] = uint32(mem.Read8(addr))
+			case fisa.ULD8S:
+				st.R[u.Dst] = uint32(int32(int8(mem.Read8(addr))))
+			case fisa.ULD16Z:
+				st.R[u.Dst] = uint32(mem.Read16(addr))
+			case fisa.ULD16S:
+				st.R[u.Dst] = uint32(int32(int16(mem.Read16(addr))))
+			}
+
+		case fisa.UST, fisa.UST8, fisa.UST16:
+			addr := st.R[u.Src1] + uint32(u.Imm)
+			stats.Stores++
+			e.Caches.DataPenalty(addr, true) // write-allocate, buffered
+			switch u.Op {
+			case fisa.UST:
+				mem.Write32(addr, st.R[u.Src2])
+			case fisa.UST8:
+				mem.Write8(addr, uint8(st.R[u.Src2]))
+			case fisa.UST16:
+				mem.Write16(addr, uint16(st.R[u.Src2]))
+			}
+
+		case fisa.UCMP:
+			st.Flags = x86.FlagsSub(st.R[u.Src1], st.R[u.Src2], u.W)
+		case fisa.UCMPI:
+			st.Flags = x86.FlagsSub(st.R[u.Src1], uint32(u.Imm), u.W)
+		case fisa.UTEST:
+			mask := fisa.MaskOf(u.W)
+			st.Flags = x86.FlagsLogic(st.R[u.Src1]&st.R[u.Src2]&mask, u.W)
+		case fisa.UTESTI:
+			mask := fisa.MaskOf(u.W)
+			st.Flags = x86.FlagsLogic(st.R[u.Src1]&uint32(u.Imm)&mask, u.W)
+
+		case fisa.UCMOV:
+			if u.Cond.Holds(st.Flags) {
+				fisa.WriteMerged(st, u.Dst, st.R[u.Src1], u.W)
+			}
+
+		case fisa.USETC:
+			var vv uint32
+			if u.Cond.Holds(st.Flags) {
+				vv = 1
+			}
+			fisa.WriteMerged(st, u.Dst, vv, 1)
+
+		case fisa.UBR:
+			taken := u.Cond.Holds(st.Flags)
+			// The split path's branch probe (VM.OnBranch), inlined: the
+			// predictor trains at functional-execution order, the bubble
+			// is applied when the entity is charged below.
+			if e.Pred.Cond(u.X86PC, taken) {
+				brPen = float64(e.P.MispredictPenalty)
+			}
+			if taken {
+				stats.TakenBranchIdx = i
+				brTaken = true
+				brTarget = int(u.Imm)
+			}
+
+		case fisa.UEXIT:
+			stop = fisa.StopExit
+			stopped = true
+
+		case fisa.UCALLOUT:
+			stop = fisa.StopCallout
+			stopped = true
+
+		default:
+			e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+			*out = stats
+			return 0, 0, fmt.Errorf("timing: cannot fuse-execute %v", u.Op)
+		}
+
+		if !inPair {
+			// Entity complete: the issue step, verbatim from ChargeBlock.
+			m := em
+			src := 0.0
+			for k := uint8(0); k < m.NSrc; k++ {
+				if r := regReady[m.Srcs[k]]; r > src {
+					src = r
+				}
+			}
+			if m.Bits&codecache.MetaReadsFlags != 0 && flagReady > src {
+				src = flagReady
+			}
+
+			slot := clock
+			if w := ring[ringIdx]; w > slot {
+				slot = w
+			}
+			issue := slot
+			if src > issue {
+				issue = src
+			}
+			complete := issue + entLat
+			retire := complete
+			if lastRetire > retire {
+				retire = lastRetire
+			}
+			lastRetire = retire
+			ring[ringIdx] = retire
+			ringIdx++
+			if ringIdx == len(ring) {
+				ringIdx = 0
+			}
+			clock = slot + invWidth
+
+			if m.Bits&codecache.MetaHasDst1 != 0 {
+				regReady[m.Dst1] = complete
+			}
+			if m.Bits&codecache.MetaHasDst2 != 0 {
+				regReady[m.Dst2] = complete
+			}
+			if m.Bits&codecache.MetaWritesFlags != 0 {
+				flagReady = complete
+			}
+
+			if m.Bits&codecache.MetaIsBranch != 0 && brPen > 0 {
+				resume := complete + brPen
+				if resume > clock {
+					clock = resume
+				}
+			}
+
+			if stopped {
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				*out = stats
+				return stop, i, nil
+			}
+			if brTaken {
+				brTaken = false
+				i = brTarget
+				continue
+			}
+		}
+		i++
+	}
+}

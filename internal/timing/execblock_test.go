@@ -1,0 +1,141 @@
+package timing
+
+import (
+	"testing"
+
+	"codesignvm/internal/bbt"
+	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
+	"codesignvm/internal/workload"
+	"codesignvm/internal/x86"
+)
+
+// splitBranchProbe is the VM's sequential-mode branch probe
+// (vmm.VM.OnBranch), reproduced here: train the predictor at
+// functional order, queue the bubble for the replay.
+type splitBranchProbe struct{ e *Engine }
+
+func (p splitBranchProbe) OnBranch(pc uint32, taken bool) {
+	pen := 0.0
+	if p.e.Pred.Cond(pc, taken) {
+		pen = float64(p.e.P.MispredictPenalty)
+	}
+	p.e.NoteBranch(pen)
+}
+
+// execBoth runs one leg of tr from µop 0 through the fused pass
+// (Engine.ExecBlock) and through the split path it replaces
+// (fisa.Exec with the engine probes, then ChargeBlock over the
+// executed ranges exactly as vmm.VM.execute segments them), on
+// independent engines and memories, and compares everything the two
+// paths produce: stop kind and index, execution statistics, the full
+// native register/flag state, the mutated memory words the leg
+// stored, and the engines' dataflow snapshots (including empty event
+// queues — the split charge must consume precisely what the probes
+// queued).
+func execBoth(t *testing.T, prog *workload.Program, tr *codecache.Translation, init *fisa.NativeState) {
+	t.Helper()
+
+	engF, engS := NewEngine(DefaultParams), NewEngine(DefaultParams)
+	memF, memS := prog.Memory(), prog.Memory()
+	stF, stS := *init, *init
+
+	var outF, outS fisa.ExecStats
+	kindF, idxF, errF := engF.ExecBlock(&stF, memF, tr, 0, &outF)
+
+	env := fisa.Env{St: &stS, Mem: memS, Probe: engS, Branch: splitBranchProbe{engS}}
+	kindS, idxS, errS := fisa.Exec(&env, tr.Uops, 0, &outS)
+	if errS == nil {
+		if outS.TakenBranchIdx >= 0 {
+			engS.ChargeBlock(tr, 0, outS.TakenBranchIdx)
+			engS.ChargeBlock(tr, idxS, idxS)
+		} else {
+			engS.ChargeBlock(tr, 0, idxS)
+		}
+	}
+
+	if (errF != nil) != (errS != nil) {
+		t.Fatalf("block %#x: error divergence: fused=%v split=%v", tr.EntryPC, errF, errS)
+	}
+	if errF != nil {
+		return // both faulted; a faulted leg aborts the run in both modes
+	}
+	if kindF != kindS || idxF != idxS {
+		t.Fatalf("block %#x: stop divergence: fused=(%v,%d) split=(%v,%d)",
+			tr.EntryPC, kindF, idxF, kindS, idxS)
+	}
+	if outF != outS {
+		t.Fatalf("block %#x: stats divergence:\nfused = %+v\nsplit = %+v", tr.EntryPC, outF, outS)
+	}
+	if stF != stS {
+		t.Fatalf("block %#x: native state divergence:\nfused = %+v\nsplit = %+v", tr.EntryPC, stF, stS)
+	}
+	if sf, ss := snapshot(engF), snapshot(engS); sf != ss {
+		t.Fatalf("block %#x: engine state divergence:\nfused = %+v\nsplit = %+v", tr.EntryPC, sf, ss)
+	}
+	// Stores must have landed identically.
+	for i := 0; i < len(tr.Uops); i++ {
+		u := &tr.Uops[i]
+		if u.Op != fisa.UST && u.Op != fisa.UST8 && u.Op != fisa.UST16 {
+			continue
+		}
+		addr := stF.R[u.Src1] + uint32(u.Imm)
+		if a, b := memF.Read32(addr), memS.Read32(addr); a != b {
+			t.Fatalf("block %#x: memory divergence at %#x: fused=%#x split=%#x", tr.EntryPC, addr, a, b)
+		}
+	}
+}
+
+// TestExecBlockLockstep pins the fused execute+timing pass to the
+// split path it replaces (see ExecBlock's equivalence argument) over
+// real translated blocks: BFS the static CFG of a workload, and run
+// every FastExec-eligible translation through both paths under several
+// initial register states — all-zero (cold branches, null-page loads),
+// and two patterned states that point load/store bases at mapped
+// program pages so the leg exercises real hierarchy latencies.
+func TestExecBlockLockstep(t *testing.T) {
+	prog, err := workload.App("Word", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := prog.Memory()
+
+	inits := make([]fisa.NativeState, 3)
+	for r := 0; r < int(fisa.NumRegs); r++ {
+		inits[1].R[r] = prog.Entry + uint32(r*64)
+		inits[2].R[r] = prog.Entry + uint32(r*4096+13)
+	}
+	inits[2].Flags = x86.FlagCF | x86.FlagZF
+
+	seen := map[uint32]bool{}
+	queue := []uint32{prog.Entry}
+	eligible := 0
+	for len(queue) > 0 && eligible < 60 {
+		pc := queue[0]
+		queue = queue[1:]
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		tr, err := bbt.Translate(mem, pc, bbt.DefaultConfig)
+		if err != nil {
+			continue
+		}
+		AnalyzeWith(tr, DefaultParams)
+		for _, e := range tr.Exits {
+			if e.Kind == codecache.ExitFall || e.Kind == codecache.ExitTaken {
+				queue = append(queue, e.Target)
+			}
+		}
+		if !tr.FastExec {
+			continue
+		}
+		eligible++
+		for i := range inits {
+			execBoth(t, prog, tr, &inits[i])
+		}
+	}
+	if eligible < 10 {
+		t.Fatalf("only %d FastExec-eligible blocks reached", eligible)
+	}
+}

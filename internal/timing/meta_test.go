@@ -12,7 +12,7 @@ import (
 // engineState snapshots the dataflow state that a replay mutates.
 type engineState struct {
 	clock      float64
-	regReady   [fisa.NumRegs]float64
+	regReady   [256]float64
 	flagReady  float64
 	lastRetire float64
 	ringIdx    int

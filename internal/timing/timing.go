@@ -74,10 +74,13 @@ type Engine struct {
 	Caches *cache.Hierarchy
 	Pred   *bpred.Predictor
 
-	// Dataflow state (absolute cycles).
+	// Dataflow state (absolute cycles). regReady is sized for the full
+	// uint8 register namespace rather than fisa.NumRegs: indexing it
+	// with a fisa.Reg then needs no bounds check, which matters in the
+	// block-replay loop (the simulator's hottest path).
 	clock      float64 // issue-bandwidth frontier == machine time
 	invWidth   float64 // 1/Width, hoisted out of the per-entity issue step
-	regReady   [fisa.NumRegs]float64
+	regReady   [256]float64
 	flagReady  float64
 	ring       []float64 // retire times of the last Window entities
 	ringIdx    int
@@ -320,14 +323,21 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 	}
 	// The issue step (issueEntity) is open-coded here with the dataflow
 	// state held in locals: this loop is the simulator's single hottest
-	// path, and keeping clock/ring cursor/retire frontier in registers
-	// across the block is worth ~10% of total simulation time. The
-	// arithmetic is identical, operation for operation, to issueEntity;
+	// path, and keeping clock/ring cursor/retire frontier/flag frontier
+	// in registers across the block is worth ~10% of total simulation
+	// time. regReady is accessed through a pointer local and indexed by
+	// uint8 register numbers (no bounds checks — the array spans the
+	// whole namespace); meta is re-sliced to the micro-op count so the
+	// loop bound proves the indexing. The arithmetic is identical,
+	// operation for operation, to issueEntity;
 	// TestChargeBlockMatchesChargeRange pins the two together.
+	meta = meta[:len(uops)]
 	clock, lastRetire := e.clock, e.lastRetire
 	ring, ringIdx := e.ring, e.ringIdx
 	invWidth := e.invWidth
-	for i := lo; i <= hi && i < len(uops); {
+	flagReady := e.flagReady
+	regReady := &e.regReady
+	for i := lo; i <= hi && i < len(meta); {
 		m := &meta[i]
 		if i+1 > hi && m.Step == 2 {
 			// The range cuts a fused pair after its head: the head
@@ -339,12 +349,12 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 
 		src := 0.0
 		for k := uint8(0); k < m.NSrc; k++ {
-			if r := e.regReady[m.Srcs[k]]; r > src {
+			if r := regReady[m.Srcs[k]]; r > src {
 				src = r
 			}
 		}
-		if m.Bits&codecache.MetaReadsFlags != 0 && e.flagReady > src {
-			src = e.flagReady
+		if m.Bits&codecache.MetaReadsFlags != 0 && flagReady > src {
+			src = flagReady
 		}
 
 		lat := m.Lat
@@ -375,13 +385,13 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 		clock = slot + invWidth
 
 		if m.Bits&codecache.MetaHasDst1 != 0 {
-			e.regReady[m.Dst1] = complete
+			regReady[m.Dst1] = complete
 		}
 		if m.Bits&codecache.MetaHasDst2 != 0 {
-			e.regReady[m.Dst2] = complete
+			regReady[m.Dst2] = complete
 		}
 		if m.Bits&codecache.MetaWritesFlags != 0 {
-			e.flagReady = complete
+			flagReady = complete
 		}
 
 		if m.Bits&codecache.MetaIsBranch != 0 {
@@ -395,7 +405,7 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 
 		i += int(m.Step)
 	}
-	e.clock, e.lastRetire, e.ringIdx = clock, lastRetire, ringIdx
+	e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
 }
 
 // entityMeta computes the issue-entity shape for the micro-op u (paired
@@ -550,14 +560,23 @@ func AnalyzeWith(t *codecache.Translation, p Params) {
 	} else {
 		t.Meta = make([]codecache.UopMeta, len(uops))
 	}
+	fast := true
 	for i := range uops {
 		u := &uops[i]
+		if u.Op == fisa.UJMP {
+			// An internal jump would let execution revisit micro-ops, so
+			// the executed set would no longer equal the charged linear
+			// ranges; such translations take the split execute-then-replay
+			// path. Translators emit none today.
+			fast = false
+		}
 		var pair *fisa.MicroOp
 		if u.Fused && i+1 < len(uops) {
 			pair = &uops[i+1]
 		}
 		t.Meta[i] = entityMeta(u, pair, p)
 	}
+	t.FastExec = fast
 
 	t.Entities = entities
 	t.FusedPairs = pairs
@@ -604,6 +623,11 @@ func (e *Engine) FetchCycles(addr uint32, size int) float64 {
 	const lineSize = 64
 	first := addr &^ (lineSize - 1)
 	last := (addr + uint32(size) - 1) &^ (lineSize - 1)
+	if first == last {
+		// Single-line fetch: the overwhelmingly common case for basic
+		// blocks; skip the streaming loop.
+		return float64(e.Caches.FetchPenalty(first))
+	}
 	total := 0.0
 	firstLine := true
 	for a := first; ; a += lineSize {

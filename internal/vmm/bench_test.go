@@ -60,6 +60,7 @@ func benchDispatch(b *testing.B, indirect bool) {
 	code := buildHotLoop(indirect)
 	cfg := DefaultConfig(StratSoft)
 	cfg.Pipeline = false
+	cfg.NoStartupSamples = true
 	vm := New(cfg, freshMemory(code, 1), initState())
 	budget := uint64(500_000)
 	if _, err := vm.Run(budget); err != nil {

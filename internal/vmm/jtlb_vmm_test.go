@@ -19,7 +19,7 @@ func newTestVM(strat Strategy, seed int64) (*VM, []byte) {
 func TestJTLBHitRespectsInvalid(t *testing.T) {
 	vm, _ := newTestVM(StratSoft, 1)
 	tr := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: 0x1234, Size: 16}
-	if _, err := vm.bbtCache.Insert(tr); err != nil {
+	if _, _, err := vm.bbtCache.Insert(tr); err != nil {
 		t.Fatal(err)
 	}
 	vm.jtlb.Insert(tr.EntryPC, tr)
@@ -37,10 +37,10 @@ func TestJTLBHitRespectsEpochFlush(t *testing.T) {
 	vm, _ := newTestVM(StratSoft, 1)
 	bbtT := &codecache.Translation{Kind: codecache.KindBBT, EntryPC: 0x2000, Size: 16}
 	sbtT := &codecache.Translation{Kind: codecache.KindSBT, EntryPC: 0x3000, Size: 16}
-	if _, err := vm.bbtCache.Insert(bbtT); err != nil {
+	if _, _, err := vm.bbtCache.Insert(bbtT); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := vm.sbtCache.Insert(sbtT); err != nil {
+	if _, _, err := vm.sbtCache.Insert(sbtT); err != nil {
 		t.Fatal(err)
 	}
 	vm.jtlb.Insert(bbtT.EntryPC, bbtT)

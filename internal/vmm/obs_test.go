@@ -191,6 +191,7 @@ func BenchmarkObsModes(b *testing.B) {
 		b.Run(m.name, func(b *testing.B) {
 			cfg := DefaultConfig(StratSoft)
 			cfg.Pipeline = false
+			cfg.NoStartupSamples = true
 			vm := New(cfg, freshMemory(code, 1), initState())
 			vm.SetObserver(m.rec())
 			budget := uint64(500_000)

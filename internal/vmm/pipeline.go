@@ -19,6 +19,9 @@ func (v *VM) startPipeline() {
 	if v.ring == nil {
 		v.ring = newTraceRing(v.ringLen)
 	}
+	if v.events == nil {
+		v.events = newEventRing(0)
+	}
 	v.obsArmRing()
 	v.pipeDone = make(chan struct{})
 	go func() {

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"codesignvm/internal/fisa"
 )
 
 // defaultRingLen is the trace-ring capacity in records. Sized so the
@@ -85,10 +87,20 @@ func (r *traceRing) waitSpace() {
 	}
 }
 
+// tailPublishBatch is how many records the consumer applies between
+// tail publications. Publishing the tail is a cross-core cache-line
+// transfer the producer's space check must then re-read, so it is
+// batched; the consumer still publishes whenever it catches up with
+// the producer, which keeps drain points prompt and deadlock-free
+// (a producer waiting for space always observes progress within one
+// batch, and a consumer waiting for records has published its true
+// frontier).
+const tailPublishBatch = 64
+
 // consume drains records in publication order, applying each through
 // fn, until an opStop record is reached. It runs on the consumer
-// goroutine; tail is republished after every record so producer-side
-// drain points observe progress promptly.
+// goroutine; tail is republished every tailPublishBatch records and
+// at every catch-up point.
 func (r *traceRing) consume(fn func(*traceRec)) {
 	t := r.tail.Load()
 	spins := 0
@@ -114,8 +126,11 @@ func (r *traceRing) consume(fn func(*traceRec)) {
 				return
 			}
 			fn(rec)
-			r.tail.Store(t + 1)
+			if (t+1)%tailPublishBatch == 0 {
+				r.tail.Store(t + 1)
+			}
 		}
+		r.tail.Store(t) // caught up: publish the true frontier
 	}
 }
 
@@ -129,4 +144,94 @@ func (r *traceRing) drained() bool {
 // the consumer has not yet applied.
 func (r *traceRing) pending() uint64 {
 	return r.pHead - r.tail.Load()
+}
+
+// defaultEventRingLen is the event side-ring capacity. It must be at
+// least maxEventChunk (trace.go) so a full chunk always fits once the
+// consumer has drained the preceding ones.
+const defaultEventRingLen = 1 << 13
+
+// eventRing is the bulk side-channel of the trace ring: flushEvents
+// copies each execution leg's buffered observations here and publishes
+// one opEvents record per chunk in the main ring. Visibility needs no
+// head atomic of its own — the producer fills slots and *then* pushes
+// the opEvents record, so the main ring's head release/acquire pair
+// already orders the slot writes before the consumer's reads. The tail
+// atomic is the space protocol: the consumer releases slots after
+// replaying them, and the producer's acquire of tail orders those
+// reads before the slots are overwritten.
+type eventRing struct {
+	buf  []fisa.Event
+	mask uint64
+
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+
+	pHead      uint64 // producer publication frontier (producer-local)
+	cachedTail uint64 // producer's last-seen tail
+
+	cTail uint64 // consumer consumption frontier (consumer-local)
+}
+
+func newEventRing(n int) *eventRing {
+	if n <= 0 {
+		n = defaultEventRingLen
+	}
+	if n&(n-1) != 0 {
+		panic("vmm: event ring length must be a power of two")
+	}
+	if n < maxEventChunk {
+		panic("vmm: event ring shorter than maxEventChunk")
+	}
+	return &eventRing{buf: make([]fisa.Event, n), mask: uint64(n - 1)}
+}
+
+// pushAll copies one chunk (len(evs) <= maxEventChunk <= capacity)
+// into the ring, blocking while space is short. The caller publishes
+// the matching opEvents record afterwards; until then the consumer
+// cannot observe these slots.
+func (r *eventRing) pushAll(evs []fisa.Event) {
+	n := uint64(len(evs))
+	if uint64(len(r.buf))-(r.pHead-r.cachedTail) < n {
+		r.waitSpace(n)
+	}
+	at := r.pHead & r.mask
+	c := copy(r.buf[at:], evs)
+	copy(r.buf, evs[c:])
+	r.pHead += n
+}
+
+func (r *eventRing) waitSpace(n uint64) {
+	for spins := 0; ; spins++ {
+		r.cachedTail = r.tail.Load()
+		if uint64(len(r.buf))-(r.pHead-r.cachedTail) >= n {
+			return
+		}
+		if spins < 64 {
+			continue
+		}
+		if spins < 1024 {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// view returns the next n published events as up to two contiguous
+// segments (the second non-empty only when the range wraps). Consumer
+// side; the slots stay owned by the consumer until release.
+func (r *eventRing) view(n int) (a, b []fisa.Event) {
+	at := r.cTail & r.mask
+	if end := at + uint64(n); end <= uint64(len(r.buf)) {
+		return r.buf[at:end], nil
+	}
+	return r.buf[at:], r.buf[:at+uint64(n)-uint64(len(r.buf))]
+}
+
+// release returns n consumed slots to the producer.
+func (r *eventRing) release(n int) {
+	r.cTail += uint64(n)
+	r.tail.Store(r.cTail)
 }

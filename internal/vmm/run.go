@@ -45,6 +45,19 @@ type VM struct {
 
 	invalidated []*codecache.Translation // BBT blocks superseded by SBT
 
+	// Translator scratch (producer-owned). Translations are built into
+	// these reusable buffers and committed — copied into arena-backed
+	// storage — before they become reachable: Insert commits into the
+	// owning cache's arena; shadow blocks commit into shadowArena, a
+	// bounded never-reset arena (shadow blocks die individually via the
+	// clock table, not at a flush, so their storage is bump-carved until
+	// the bound and heap-allocated past it). metaBuf plays the same role
+	// for timing.AnalyzeWith's per-µop metadata.
+	bbtScratch  bbt.Scratch
+	sbtFormer   sbt.Former
+	metaBuf     []codecache.UopMeta
+	shadowArena *codecache.Arena
+
 	// Producer state.
 	pc       uint32
 	halted   bool
@@ -53,9 +66,16 @@ type VM struct {
 	inX86    bool   // current frontend mode (VM.fe)
 	instrs   uint64 // retired architected instructions (mirrors res.Instrs)
 
+	// evBuf is the deferred-observation buffer handed to fisa.Exec
+	// (Env.Events): loads, stores and branch outcomes accumulate here
+	// during the linear pass and are replayed in batch before the
+	// segment's timing charge. Producer-owned; reused every block.
+	evBuf []fisa.Event
+
 	// Pipeline plumbing (nil/false in sequential mode).
 	ring       *traceRing
-	ringLen    int // test hook; 0 selects defaultRingLen
+	events     *eventRing // bulk side-channel for observation batches
+	ringLen    int        // test hook; 0 selects defaultRingLen
 	pipeDone   chan struct{}
 	pipelining bool
 
@@ -106,7 +126,25 @@ func New(cfg Config, mem *x86.Memory, init *x86.State) *VM {
 		arch:       *init,
 		nextSample: 1000,
 		tlNext:     math.Inf(1),
+
+		evBuf: make([]fisa.Event, 0, 512),
 	}
+	if cfg.NoStartupSamples {
+		v.nextSample = math.Inf(1)
+	}
+	// Bound the shadow arena relative to the shadow table: carving
+	// stops (falling back to the heap) once roughly the table's
+	// worst-case working set has been carved, so eviction churn cannot
+	// grow the never-reset arena without bound.
+	shadowCap := cfg.ShadowCap
+	if shadowCap <= 0 {
+		shadowCap = DefaultShadowCap
+	}
+	maxSlabs := shadowCap / 256
+	if maxSlabs < 8 {
+		maxSlabs = 8
+	}
+	v.shadowArena = codecache.NewBoundedArena(maxSlabs)
 	v.nst.LoadArch(init)
 	v.itp = interp.New(&v.arch, mem)
 	v.res.Strategy = cfg.Strategy
@@ -286,7 +324,9 @@ func (v *VM) Run(maxInstrs uint64) (*Result, error) {
 	v.res.Halted = v.halted
 	v.res.XltInvocations = v.xlt.Invocations
 	v.res.XltBusyCycles = v.xlt.BusyCycles
-	v.res.Samples = append(v.res.Samples, v.snapshot())
+	if !v.Cfg.NoStartupSamples {
+		v.res.Samples = append(v.res.Samples, v.snapshot())
+	}
 	if v.tl != nil {
 		// Close the timeline with the run-end partial slice. Both
 		// pipeline sides have joined, so producer-owned occupancy is
@@ -299,60 +339,87 @@ func (v *VM) Run(maxInstrs uint64) (*Result, error) {
 	return &v.res, nil
 }
 
-// dispatch resolves the next unit of execution for v.pc, translating as
-// needed, charging VMM costs, chaining the previous exit, and running
-// hotspot detection.
+// dispatch resolves the next unit of execution for v.pc. The fast path
+// is direct-threaded: a chained exit carries a resolved next-translation
+// pointer that is valid by construction — every event that could
+// invalidate it (cache flush, supersede) severs the chain eagerly
+// (codecache.Translation.Unchain) — so following it needs no Invalid
+// flag or epoch re-validation, no strategy switch and no map probe.
+// Only hotspot detection remains on the fast path, gated by the
+// precomputed Profiled bit. With Cfg.NoThreadedDispatch the legacy
+// validity checks run again; they can never fail (the chains they would
+// reject are already severed), so both modes follow identical chains.
 func (v *VM) dispatch() (*codecache.Translation, Category, error) {
-	cfg := &v.Cfg
-
-	// Fast path: follow a valid chain from the previous exit.
-	var t *codecache.Translation
 	if v.prevT != nil {
 		e := &v.prevT.Exits[v.prevExit]
-		if c := e.Chained; c != nil && !c.Invalid && c.Epoch == v.cacheOf(c).Epoch() {
-			t = c
-		}
-	}
-
-	dispatchCost := false
-	if t == nil {
-		dispatchCost = true
-		// Software jump-TLB: a direct-mapped array fronting the map
-		// lookups of both code caches and the shadow table. It is a
-		// host-side accelerator for the simulator itself — a hit pays
-		// exactly the simulated dispatch cost a map hit would, so
-		// simulated timing is unchanged; only host work is saved.
-		if c := v.jtlb.Lookup(v.pc); c != nil && v.jtlbValid(c) {
-			t = c
-			v.res.JTLBHits++
-		} else {
-			v.res.JTLBMisses++
-			// Lookup: optimized code first.
-			if cfg.Strategy.UsesSBT() {
-				if s := v.sbtCache.Lookup(v.pc); s != nil {
-					t = s
-				}
-			}
-			if t == nil {
-				var err error
-				t, err = v.coldUnit()
-				if err != nil {
+		if c := e.Chained; c != nil &&
+			(!v.Cfg.NoThreadedDispatch || (!c.Invalid && c.Epoch == v.cacheOf(c).Epoch())) {
+			if c.Profiled && v.det.RecordEntry(v.pc, c.NumX86) {
+				if err := v.formSuperblock(v.pc); err != nil {
 					return nil, 0, err
 				}
+				// c was just superseded; it still runs this one last
+				// time (its chain was severed, so the next dispatch of
+				// this PC resolves the superblock via the slow path).
 			}
-			v.jtlb.Insert(v.pc, t)
+			return c, Category(c.DispCat), nil
 		}
-		if v.obs != nil {
-			v.obsJTLB()
+	}
+	return v.dispatchSlow()
+}
+
+// adopt fills the owner-precomputed dispatch fields of a translation
+// (fast-path category byte and hotspot-detection gate). Idempotent;
+// runs on every slow-path dispatch so every translation that can ever
+// become a chain target carries correct values.
+func (v *VM) adopt(t *codecache.Translation) {
+	t.DispCat = uint8(v.categoryOf(t))
+	t.Profiled = v.Cfg.Strategy.UsesSBT() && t.Kind != codecache.KindSBT
+}
+
+// dispatchSlow resolves v.pc without a chain: jump-TLB, code-cache
+// lookups or cold translation, then charges VMM costs, chains the
+// previous exit and runs hotspot detection.
+func (v *VM) dispatchSlow() (*codecache.Translation, Category, error) {
+	cfg := &v.Cfg
+
+	var t *codecache.Translation
+	// Software jump-TLB: a direct-mapped array fronting the map
+	// lookups of both code caches and the shadow table. It is a
+	// host-side accelerator for the simulator itself — a hit pays
+	// exactly the simulated dispatch cost a map hit would, so
+	// simulated timing is unchanged; only host work is saved.
+	if c := v.jtlb.Lookup(v.pc); c != nil && v.jtlbValid(c) {
+		t = c
+		v.res.JTLBHits++
+	} else {
+		v.res.JTLBMisses++
+		// Lookup: optimized code first.
+		if cfg.Strategy.UsesSBT() {
+			if s := v.sbtCache.Lookup(v.pc); s != nil {
+				t = s
+			}
 		}
-		// Chain the previous direct exit to the found translation.
-		if v.prevT != nil && !v.prevT.Shadow && !t.Shadow {
-			e := &v.prevT.Exits[v.prevExit]
-			if e.Kind == codecache.ExitFall || e.Kind == codecache.ExitTaken || e.Kind == codecache.ExitSide {
-				v.cacheOf(t).Chain(v.prevT, v.prevExit, t)
-				if v.obs != nil {
-					v.obsChain(v.prevT, t)
-				}
+		if t == nil {
+			var err error
+			t, err = v.coldUnit()
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		v.jtlb.Insert(v.pc, t)
+	}
+	v.adopt(t)
+	if v.obs != nil {
+		v.obsJTLB()
+	}
+	// Chain the previous direct exit to the found translation.
+	if v.prevT != nil && !v.prevT.Shadow && !t.Shadow {
+		e := &v.prevT.Exits[v.prevExit]
+		if e.Kind == codecache.ExitFall || e.Kind == codecache.ExitTaken || e.Kind == codecache.ExitSide {
+			v.cacheOf(t).Chain(v.prevT, v.prevExit, t)
+			if v.obs != nil {
+				v.obsChain(v.prevT, t)
 			}
 		}
 	}
@@ -365,12 +432,15 @@ func (v *VM) dispatch() (*codecache.Translation, Category, error) {
 	// are resolved by the hardware jump-TLB of the dual-mode frontend,
 	// so transitions out of shadow blocks pay no software dispatch.
 	fromShadow := v.prevT != nil && v.prevT.Shadow
-	if dispatchCost && !t.Shadow && (cfg.Strategy.UsesBBT() || t.Kind == codecache.KindSBT) &&
+	if !t.Shadow && (cfg.Strategy.UsesBBT() || t.Kind == codecache.KindSBT) &&
 		!(cfg.Strategy == StratFE && fromShadow) {
 		v.emitCharge(CatVMM, cfg.DispatchCycles)
 	}
 
 	// Mode switches (VM.fe): crossing between x86-mode and native mode.
+	// Chained dispatches never cross modes (chains link native-mode
+	// translations only, and never lead out of a shadow block), so the
+	// check lives on the slow path alone.
 	if cfg.Strategy == StratFE {
 		x86mode := cat == CatX86Emu
 		if x86mode != v.inX86 {
@@ -380,7 +450,7 @@ func (v *VM) dispatch() (*codecache.Translation, Category, error) {
 	}
 
 	// Hotspot detection on non-optimized code.
-	if cfg.Strategy.UsesSBT() && t.Kind != codecache.KindSBT {
+	if t.Profiled {
 		if v.det.RecordEntry(v.pc, t.NumX86) {
 			if err := v.formSuperblock(v.pc); err != nil {
 				return nil, 0, err
@@ -464,12 +534,10 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 		if t := v.shadow.get(v.pc); t != nil {
 			return t, nil
 		}
-		t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
+		t, err := v.newShadowBlock()
 		if err != nil {
 			return nil, err
 		}
-		t.Shadow = true
-		timing.AnalyzeWith(t, cfg.Timing)
 		v.shadowPut(v.pc, t)
 		return t, nil
 
@@ -492,27 +560,47 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 			v.shadow.remove(v.pc)
 			return v.translateBBT()
 		}
-		t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
+		t, err := v.newShadowBlock()
 		if err != nil {
 			return nil, err
 		}
-		t.Shadow = true
-		timing.AnalyzeWith(t, cfg.Timing)
 		v.shadowPut(v.pc, t)
 		return t, nil
 	}
 	return nil, fmt.Errorf("vmm: unknown strategy %v", cfg.Strategy)
 }
 
+// newShadowBlock builds the shadow block for v.pc: translated into the
+// reusable scratch, analyzed, and committed into the shadow arena.
+func (v *VM) newShadowBlock() (*codecache.Translation, error) {
+	t, err := v.bbtScratch.Translate(v.Mem, v.pc, v.Cfg.BBT)
+	if err != nil {
+		return nil, err
+	}
+	t.Shadow = true
+	v.analyze(t)
+	return v.shadowArena.Commit(t), nil
+}
+
+// analyze fills t's timing metadata through the VM's reusable scratch
+// buffer. The commit that follows every analyze copies the metadata
+// into arena storage, so the buffer is free again for the next
+// translation.
+func (v *VM) analyze(t *codecache.Translation) {
+	t.Meta = v.metaBuf[:0]
+	timing.AnalyzeWith(t, v.Cfg.Timing)
+	v.metaBuf = t.Meta[:0]
+}
+
 // translateBBT runs the basic-block translator at v.pc, charging the
 // per-instruction translation cost of the configuration.
 func (v *VM) translateBBT() (*codecache.Translation, error) {
 	cfg := &v.Cfg
-	t, err := bbt.Translate(v.Mem, v.pc, cfg.BBT)
+	t, err := v.bbtScratch.Translate(v.Mem, v.pc, cfg.BBT)
 	if err != nil {
 		return nil, err
 	}
-	timing.AnalyzeWith(t, cfg.Timing)
+	v.analyze(t)
 
 	complex := 0
 	for i := range t.Uops {
@@ -539,7 +627,13 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 	}
 	v.emitCharge(CatBBTXlate, cost)
 
-	flushed, err := v.bbtCache.Insert(t)
+	// A flushing insert recycles the arena backing every old-epoch
+	// translation, so the pipelined consumer must not be holding trace
+	// records into them: drain before Insert, not after.
+	if v.bbtCache.NeedsFlush(t.Size) {
+		v.drainPipeline(drainBBTFlush)
+	}
+	t, flushed, err := v.bbtCache.Insert(t)
 	if err != nil {
 		return nil, err
 	}
@@ -564,17 +658,22 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 func (v *VM) formSuperblock(pc uint32) error {
 	v.drainPipeline(drainSBTPromote)
 	cfg := &v.Cfg
-	t, err := sbt.Form(v.Mem, pc, v.edges, cfg.SBT)
+	t, err := v.sbtFormer.Form(v.Mem, pc, v.edges, cfg.SBT)
 	if err != nil {
 		return err
 	}
-	timing.AnalyzeWith(t, cfg.Timing)
+	v.analyze(t)
 	v.emitCharge(CatSBTXlate, cfg.SBTCyclesPerInst*float64(t.NumX86))
 	// The optimizer reads the architected code and writes the superblock
 	// through the data cache (it is software in every configuration).
 	v.emitTouch(pc, uint32(t.X86Bytes), false)
 
-	flushed, err := v.sbtCache.Insert(t)
+	// Drain before a flushing insert: the arena recycle must not race
+	// the consumer's reads (see translateBBT).
+	if v.sbtCache.NeedsFlush(t.Size) {
+		v.drainPipeline(drainSBTFlush)
+	}
+	t, flushed, err := v.sbtCache.Insert(t)
 	if err != nil {
 		return err
 	}
@@ -587,8 +686,12 @@ func (v *VM) formSuperblock(pc uint32) error {
 	}
 
 	// Retire the BBT block (or shadow profile state) it supersedes.
+	// Severing its inbound chains is what retires it on the threaded
+	// dispatch path: the next transition that used to chain into it
+	// falls back to the slow path and resolves the superblock.
 	if old := v.bbtCache.Lookup(pc); old != nil && !old.Invalid {
 		old.Invalid = true
+		old.Unchain()
 		v.invalidated = append(v.invalidated, old)
 		if v.obs != nil {
 			v.obsUnchain(old)
@@ -602,13 +705,29 @@ func (v *VM) formSuperblock(pc uint32) error {
 	return nil
 }
 
-// onBBTFlush handles a basic-block code cache flush: chains into the old
-// epoch die automatically (epoch check); profiling state is kept (the
-// blocks remain warm in the detector, as with a real software counter
-// table in VMM memory). Flushes are pipeline sync points.
+// onBBTFlush handles a basic-block code cache flush: chains are severed
+// eagerly by the flush itself; profiling state is kept (the blocks
+// remain warm in the detector, as with a real software counter table in
+// VMM memory). Flushes are pipeline sync points — the drain runs before
+// the flushing Insert (see translateBBT), because the flush recycles
+// translation storage the consumer may still be reading.
 func (v *VM) onBBTFlush() {
-	v.drainPipeline(drainBBTFlush)
 	v.invalidated = v.invalidated[:0]
+	// The flush recycled its translations' storage; a stale jump-TLB
+	// entry could therefore pass the epoch check while pointing at a
+	// recycled slot that now holds a different current-epoch
+	// translation. Evict the flushed kind eagerly; hit/miss counts are
+	// unchanged (a stale entry was a miss before, a nil entry is a miss
+	// now), and surviving shadow/SBT entries keep their future hits.
+	v.jtlb.EvictKind(codecache.KindBBT)
+	// The previous translation died with the flush: drop the reference
+	// so the dispatch loop cannot read exits of a dead (and, with an
+	// arena, soon-to-be-recycled) translation. Its chains are already
+	// severed, so this changes no dispatch decision — the next dispatch
+	// took the slow path either way.
+	if v.prevT != nil && !v.prevT.Shadow && v.prevT.Kind != codecache.KindSBT {
+		v.prevT = nil
+	}
 	if v.obs != nil {
 		v.obsFlush(v.bbtCache, 0)
 	}
@@ -616,14 +735,18 @@ func (v *VM) onBBTFlush() {
 
 // onSBTFlush handles a superblock cache flush: superseded BBT blocks
 // become live again and regions must be re-detected before
-// re-optimizing. Flushes are pipeline sync points.
+// re-optimizing. Flushes are pipeline sync points — the drain runs
+// before the flushing Insert (see formSuperblock).
 func (v *VM) onSBTFlush() {
-	v.drainPipeline(drainSBTFlush)
+	v.jtlb.EvictKind(codecache.KindSBT) // see onBBTFlush
 	for _, t := range v.invalidated {
 		t.Invalid = false
 	}
 	v.invalidated = v.invalidated[:0]
 	v.det = newDetector(&v.Cfg)
+	if v.prevT != nil && v.prevT.Kind == codecache.KindSBT {
+		v.prevT = nil // see onBBTFlush
+	}
 	if v.obs != nil {
 		v.obsFlush(v.sbtCache, 1)
 	}
@@ -634,17 +757,32 @@ func (v *VM) onSBTFlush() {
 // memory and branch events, callout serializations, and the closing
 // attribution/statistics record.
 func (v *VM) execute(t *codecache.Translation, cat Category) error {
+	if !v.pipelining && cat != CatInterp && t.FastExec {
+		// Sequential mode runs eligible translations through the fused
+		// execute+timing pass: one walk does the functional work and the
+		// dataflow charge (timing.Engine.ExecBlock), which is
+		// bit-identical to the split path below — see ExecBlock's
+		// equivalence argument. Interpreted blocks keep the split path
+		// (their timing is per-instruction software cost, not a dataflow
+		// replay); the pipelined mode keeps it because its timing runs on
+		// the consumer goroutine by design.
+		return v.executeFused(t, cat)
+	}
 	env := fisa.Env{St: &v.nst, Mem: v.Mem}
 	if v.pipelining {
-		p := traceProbe{v}
-		env.Probe = p
-		if cat != CatInterp {
-			env.Branch = p
-		}
+		// Deferred-observation mode: fisa.Exec appends loads, stores
+		// and branch outcomes to Env.Events instead of calling probe
+		// interfaces; flushEvents copies the batch into the event
+		// side-ring and publishes one coalesced opEvents record per
+		// chunk — replacing the per-event ring records. The consumer
+		// replays the batch in exact program order before the segment's
+		// timing charge, so every engine-visible operation happens in
+		// the same relative order as the per-event wiring it replaced.
+		env.Events = v.evBuf[:0]
 	} else {
 		// Sequential mode: the probes feed the timing engine directly —
-		// exactly the work of apply(opLoad/opStore/opBranch), without
-		// record overhead.
+		// buffering and replaying would only add copy overhead when the
+		// engine is right here on the same goroutine.
 		env.Probe = v.eng
 		if cat != CatInterp {
 			env.Branch = v
@@ -653,11 +791,11 @@ func (v *VM) execute(t *codecache.Translation, cat Category) error {
 
 	v.emitBlockStart(t, cat)
 
-	var total fisa.ExecStats
+	var total, st fisa.ExecStats
 	start := 0
 	var exitIdx int
 	for {
-		kind, idx, st, err := fisa.Exec(&env, t.Uops, start)
+		kind, idx, err := fisa.Exec(&env, t.Uops, start, &st)
 		if err != nil {
 			return fmt.Errorf("vmm: executing %v block at %#x: %w", t.Kind, t.EntryPC, err)
 		}
@@ -667,7 +805,9 @@ func (v *VM) execute(t *codecache.Translation, cat Category) error {
 		total.Stores += st.Stores
 		total.Boundaries += st.Boundaries
 
-		// Timing replay over the executed (linear) ranges.
+		// Timing replay over the executed (linear) ranges: first the
+		// leg's buffered observations, then the dataflow charge.
+		v.flushEvents(&env, cat == CatInterp)
 		if cat == CatInterp {
 			v.emitSegInterp(st.Boundaries)
 		} else if st.TakenBranchIdx >= 0 {
@@ -689,7 +829,52 @@ func (v *VM) execute(t *codecache.Translation, cat Category) error {
 		break
 	}
 
+	if env.Events != nil {
+		v.evBuf = env.Events[:0] // retain the grown capacity for the next block
+	}
 	v.emitBlockEnd(cat, total.Boundaries, total.Uops, uint64(total.Entities))
+	v.instrs += uint64(total.Boundaries)
+	t.ExecCount++
+
+	return v.resolveExit(t, exitIdx, cat)
+}
+
+// executeFused runs one translation through the fused execute+timing
+// pass: the same block-start fetch, leg loop, callout handling,
+// block-end attribution and exit resolution as the split path of
+// execute, with fisa.Exec + ChargeBlock replaced by the single-walk
+// timing.Engine.ExecBlock. Sequential mode only; the timing methods are
+// called directly (no trace records).
+func (v *VM) executeFused(t *codecache.Translation, cat Category) error {
+	v.blockStart(t, cat)
+
+	var total, st fisa.ExecStats
+	start := 0
+	var exitIdx int
+	for {
+		kind, idx, err := v.eng.ExecBlock(&v.nst, v.Mem, t, start, &st)
+		if err != nil {
+			return fmt.Errorf("vmm: executing %v block at %#x: %w", t.Kind, t.EntryPC, err)
+		}
+		total.Uops += st.Uops
+		total.Entities += st.Entities
+		total.Loads += st.Loads
+		total.Stores += st.Stores
+		total.Boundaries += st.Boundaries
+
+		if kind == fisa.StopCallout {
+			if err := v.calloutExec(t.Uops[idx].X86PC); err != nil {
+				return err
+			}
+			v.callout(cat != CatX86Emu) // cat != CatInterp by the fast-path gate
+			start = idx + 1
+			continue
+		}
+		exitIdx = int(t.Uops[idx].Imm)
+		break
+	}
+
+	v.blockEnd(cat, total.Boundaries, total.Uops, uint64(total.Entities))
 	v.instrs += uint64(total.Boundaries)
 	t.ExecCount++
 

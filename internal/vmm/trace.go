@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"codesignvm/internal/codecache"
+	"codesignvm/internal/fisa"
 	"codesignvm/internal/timing"
 )
 
@@ -56,6 +57,12 @@ const (
 	// opBranch is one executed conditional branch (a = x86 PC,
 	// flagTaken = outcome): trains the predictor, queues the bubble.
 	opBranch
+	// opEvents replays a batch of i1 buffered observations (loads,
+	// stores, branch outcomes) from the event side-ring in program
+	// order — the coalesced form of an opLoad/opStore/opBranch record
+	// sequence. flagInterp drops the branch outcomes (interpreted
+	// blocks train no predictor).
+	opEvents
 	// opSeg replays the executed micro-op range t.Uops[i1..i2] through
 	// the dataflow model (timing.ChargeBlock).
 	opSeg
@@ -95,6 +102,7 @@ const (
 	flagRet                           // opExitInd: return instruction
 	flagCall                          // opExitInd: indirect call
 	flagIndLookup                     // opExitInd: software target lookup
+	flagInterp                        // opEvents: interpreted block — skip branch outcomes
 )
 
 // traceRec is one fixed-size trace record. Field use depends on op; see
@@ -140,6 +148,13 @@ func (v *VM) apply(r *traceRec) {
 
 	case opBranch:
 		v.OnBranch(r.a, r.flags&flagTaken != 0)
+
+	case opEvents:
+		a, b := v.events.view(int(r.i1))
+		interp := r.flags&flagInterp != 0
+		v.replayEvents(a, interp)
+		v.replayEvents(b, interp)
+		v.events.release(int(r.i1))
 
 	case opSeg:
 		v.eng.ChargeBlock(r.t, int(r.i1), int(r.i2))
@@ -378,26 +393,61 @@ func (v *VM) emitSample() {
 	v.sampleIfDue()
 }
 
-// traceProbe adapts the fisa execution probes to trace-record emission
-// for the pipelined mode: functional execution reports its loads,
-// stores and branch outcomes as records instead of touching the timing
-// engine directly. The sequential mode keeps the direct probe wiring
-// (Env.Probe = engine, Env.Branch = VM), which performs exactly the
-// work of apply(opLoad/opStore/opBranch) without the indirection.
-type traceProbe struct{ v *VM }
+// maxEventChunk bounds how many buffered observations one opEvents
+// record covers. Chunking is what makes the side-ring deadlock-free:
+// each chunk's events are published and its opEvents record pushed
+// before the next chunk needs space, so the consumer can always free
+// the ring by applying records already in the trace ring. The chunk
+// must not exceed the event-ring capacity (asserted in ring.go).
+const maxEventChunk = 2048
 
-func (p traceProbe) OnLoad(addr uint32, size uint8) {
-	p.v.ring.push(&traceRec{op: opLoad, a: addr, u8: size})
-}
-
-func (p traceProbe) OnStore(addr uint32, size uint8) {
-	p.v.ring.push(&traceRec{op: opStore, a: addr, u8: size})
-}
-
-func (p traceProbe) OnBranch(pc uint32, taken bool) {
-	r := traceRec{op: opBranch, a: pc}
-	if taken {
-		r.flags = flagTaken
+// replayEvents applies one buffered observation batch in exact program
+// order: the statement sequence of apply(opLoad/opStore/opBranch) for
+// the same events. Branch outcomes are dropped for interpreted blocks,
+// matching the historical Env.Branch == nil wiring for CatInterp (the
+// interpreter models no embedded branch predictor). Consumer side.
+func (v *VM) replayEvents(evs []fisa.Event, interp bool) {
+	eng := v.eng
+	for i := range evs {
+		e := evs[i]
+		switch e.Kind {
+		case fisa.EvLoad:
+			eng.OnLoad(e.Addr, e.Size)
+		case fisa.EvStore:
+			eng.OnStore(e.Addr, e.Size)
+		default:
+			if !interp {
+				v.OnBranch(e.Addr, e.Kind == fisa.EvBrTaken)
+			}
+		}
 	}
-	p.v.ring.push(&r)
+}
+
+// flushEvents hands one execution leg's buffered observations to the
+// timing consumer: it copies them into the event side-ring and
+// publishes one coalesced opEvents record per chunk — the batched
+// replacement for the per-event opLoad/opStore/opBranch records. Only
+// the pipelined mode buffers events (sequential execution keeps the
+// direct probe wiring, which beats buffer-and-replay when the engine
+// lives on the same goroutine), so the buffer is empty otherwise. The
+// env buffer is reset for the next leg.
+func (v *VM) flushEvents(env *fisa.Env, interp bool) {
+	evs := env.Events
+	if len(evs) == 0 {
+		return
+	}
+	var flags uint8
+	if interp {
+		flags = flagInterp
+	}
+	for len(evs) > 0 {
+		n := len(evs)
+		if n > maxEventChunk {
+			n = maxEventChunk
+		}
+		v.events.pushAll(evs[:n])
+		v.ring.push(&traceRec{op: opEvents, i1: int32(n), flags: flags})
+		evs = evs[n:]
+	}
+	env.Events = env.Events[:0]
 }

@@ -139,6 +139,13 @@ type Config struct {
 	// cycle-indexed samples.
 	SampleGrowth float64
 
+	// NoStartupSamples suppresses the startup-curve sample log entirely
+	// (both the geometric cycle-indexed samples and the run-end
+	// snapshot). Steady-state benchmarks set it so repeated Run calls
+	// measure the dispatch path rather than sample bookkeeping; it has
+	// no effect on any other reported counter.
+	NoStartupSamples bool
+
 	// Pipeline selects the host-side execution mode of the simulator
 	// itself: when set, functional execution (dispatch + fisa.Exec) and
 	// timing (dataflow replay, caches, predictor, sampling) run
@@ -149,6 +156,15 @@ type Config struct {
 	// Hosts without parallelism (GOMAXPROCS=1) ignore the flag and run
 	// sequentially — decoupling cannot help there, only cost.
 	Pipeline bool
+
+	// NoThreadedDispatch disables the direct-threaded dispatch fast
+	// path: chained exits are then re-validated against the Invalid
+	// flag and cache epoch on every dispatch, as the pre-threaded
+	// dispatcher did. Chain invalidation is eager in both modes, so the
+	// two dispatchers follow exactly the same chains and produce
+	// byte-identical results; the flag exists for A/B measurement and
+	// as a diagnostic fallback.
+	NoThreadedDispatch bool
 }
 
 // DefaultConfig returns the baseline configuration for a strategy, using

@@ -2,7 +2,7 @@
 # Tier-1 micro-benchmark snapshot: runs the hot-path benchmarks the CI
 # smoke-tests at 1x (end-to-end Fig. 2, BBT translation, the dispatch
 # loop, and the observability modes) at real benchtime, and records the
-# results as BENCH_PR5.json (schema bench.v1, with host metadata) via
+# results as BENCH_PR6.json (schema bench.v1, with host metadata) via
 # scripts/benchjson. Compare snapshots across PRs to catch hot-path
 # regressions; scripts/ci.sh validates the committed file's shape.
 #
@@ -10,7 +10,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 

@@ -1,5 +1,5 @@
 // benchjson converts `go test -bench` output into a small stable JSON
-// document, and validates such documents.
+// document, validates such documents, and diffs two of them.
 //
 // Convert (scripts/bench.sh): pipe benchmark output through stdin:
 //
@@ -9,6 +9,13 @@
 // well-formed bench.v1 JSON with at least one benchmark:
 //
 //	go run ./scripts/benchjson -check BENCH_PR4.json
+//
+// Diff: -diff OLD.json NEW.json prints a per-benchmark table of
+// percentage deltas (ns/op, B/op, allocs/op; negative = improvement).
+// With -fail-over PCT it exits non-zero when any benchmark present in
+// both files regressed its ns/op by more than PCT percent — the CI
+// perf gate. Wall-clock deltas are host-noise-sensitive; gate
+// thresholds should leave generous headroom (tens of percent).
 package main
 
 import (
@@ -16,10 +23,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // doc is the bench.v1 schema.
@@ -47,10 +56,27 @@ type bench struct {
 
 func main() {
 	check := flag.String("check", "", "validate this bench.v1 JSON file instead of converting")
+	diff := flag.Bool("diff", false, "diff two bench.v1 files given as arguments")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit non-zero if any ns/op regression exceeds this percentage")
 	flag.Parse()
 	if *check != "" {
 		if err := checkFile(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		ok, err := diffFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *failOver)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -154,4 +180,86 @@ func checkFile(path string) error {
 		}
 	}
 	return nil
+}
+
+// loadDoc reads and validates one bench.v1 file for diffing.
+func loadDoc(path string) (*doc, error) {
+	if err := checkFile(path); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// pct formats a relative change as a signed percentage, or "-" when
+// the old value is zero (no baseline to compare against).
+func pct(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "="
+		}
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// diffFiles prints the per-benchmark delta table between two bench.v1
+// documents. It returns ok=false when failOver > 0 and some benchmark
+// present in both files regressed its ns/op by more than failOver
+// percent. Benchmarks present in only one file are listed but never
+// gate.
+func diffFiles(w io.Writer, oldPath, newPath string, failOver float64) (bool, error) {
+	oldD, err := loadDoc(oldPath)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newD, err := loadDoc(newPath)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", newPath, err)
+	}
+	oldBy := make(map[string]bench, len(oldD.Benchmarks))
+	for _, b := range oldD.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tns/op old\tns/op new\tΔns\tΔB/op\tΔallocs\n")
+	ok := true
+	matched := make(map[string]bool, len(newD.Benchmarks))
+	for _, nb := range newD.Benchmarks {
+		ob, found := oldBy[nb.Name]
+		if !found {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t(new)\t\t\n", nb.Name, nb.NsPerOp)
+			continue
+		}
+		matched[nb.Name] = true
+		dNs := pct(ob.NsPerOp, nb.NsPerOp)
+		if failOver > 0 && ob.NsPerOp > 0 &&
+			(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp*100 > failOver {
+			ok = false
+			dNs += " REGRESSION"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, dNs,
+			pct(ob.BPerOp, nb.BPerOp), pct(ob.AllocsPerOp, nb.AllocsPerOp))
+	}
+	for _, ob := range oldD.Benchmarks {
+		if !matched[ob.Name] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t(gone)\t\t\n", ob.Name, ob.NsPerOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return false, err
+	}
+	if !ok {
+		fmt.Fprintf(w, "\nFAIL: ns/op regression over %.1f%% threshold\n", failOver)
+	}
+	return ok, nil
 }

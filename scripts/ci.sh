@@ -39,6 +39,32 @@ GOMAXPROCS=2 go test -race -count=1 -timeout 900s \
 go test -run '^$' -bench 'DispatchHot|BBTTranslate' -benchtime=1x ./internal/vmm/ ./internal/bbt/
 go test -run '^$' -bench 'Fig2' -benchtime=1x .
 
+# Perf gate. Three checks:
+#   1. The steady-state dispatch paths (chained and disabled-obs) must
+#      allocate exactly nothing per op — asserted by the ZeroAlloc
+#      tests via testing.AllocsPerRun, which is exact, unlike one
+#      -benchtime=1x benchmark iteration.
+#   2. BBT translation must stay within its recorded byte ceiling per
+#      op (scratch-and-commit leaves only the arena's amortized slab
+#      growth; the ceiling has ~3x headroom over the recorded value).
+#   3. The committed BENCH_PR6.json must not have regressed ns/op by
+#      more than 50% against any same-named benchmark in BENCH_PR5.json
+#      (generous threshold: wall-clock on shared CI hosts is noisy;
+#      the A/B minima in EXPERIMENTS.md are the precise record).
+go test -race -count=1 -run 'ZeroAlloc' ./internal/vmm/
+bbt_bop="$(go test -run '^$' -bench 'BBTTranslateHot' -benchmem -benchtime 100x ./internal/bbt/ |
+	awk '/BenchmarkBBTTranslateHot/ {for (i=1; i<NF; i++) if ($(i+1) == "B/op") print $i}')"
+[ -n "$bbt_bop" ]
+[ "$bbt_bop" -le 600 ] || { echo "BBT translate $bbt_bop B/op exceeds 600 B/op ceiling"; exit 1; }
+go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR5.json BENCH_PR6.json
+
+# The golden determinism sweep: all six figure reports byte-identical
+# across threaded/unthreaded dispatch and sequential/pipelined modes,
+# under race instrumentation on two procs (-count=1: GOMAXPROCS is not
+# in the test cache key).
+GOMAXPROCS=2 go test -race -count=1 -timeout 1800s -run 'TestGoldenReportsAcrossDispatchModes' \
+	./internal/experiments/
+
 # Observability gate: every example must build, and the disabled-mode
 # cost contract must hold — TestObsDisabledAllocFree /
 # TestHotPathAllocFree assert zero hot-path allocations with no recorder
@@ -76,6 +102,8 @@ curl -fsS "http://$addr/runs" | grep -q '"runs_started"'
 wait "$vmsim_pid"
 rm -rf "$ci_tmp"
 
-# Bench snapshot: the committed BENCH_PR5.json (regenerated by
-# scripts/bench.sh) must stay well-formed bench.v1 JSON.
+# Bench snapshots: the committed BENCH_PR6.json (regenerated by
+# scripts/bench.sh) and the BENCH_PR5.json baseline it is diffed
+# against must stay well-formed bench.v1 JSON.
 go run ./scripts/benchjson -check BENCH_PR5.json
+go run ./scripts/benchjson -check BENCH_PR6.json

@@ -10,6 +10,8 @@
 package codesignvm_test
 
 import (
+	"bytes"
+	"os"
 	"testing"
 
 	codesignvm "codesignvm"
@@ -197,6 +199,57 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Instrs), "instrs/op")
+	}
+}
+
+// BenchmarkWarmSweep measures one full warm-start run: a fresh
+// VM.soft VM that restores from a pre-built translation snapshot
+// (built once, outside the timer) and executes a 9M-instruction Word
+// trace. The WARMSTART_BENCH_MODE environment variable selects the
+// restore policy — cold, lazy (default), hybrid or eager — under the
+// SAME benchmark name, so `benchjson -diff` matches the cold and warm
+// arms and scripts/ci.sh can gate the warm-vs-cold wall-clock delta.
+func BenchmarkWarmSweep(b *testing.B) {
+	mode := codesignvm.WarmLazy
+	if env := os.Getenv("WARMSTART_BENCH_MODE"); env != "" && env != "cold" {
+		m, err := codesignvm.ParseWarmStart(env)
+		if err != nil || m == codesignvm.WarmOff {
+			b.Fatalf("WARMSTART_BENCH_MODE=%q: want cold, lazy, hybrid or eager", env)
+		}
+		mode = m
+	} else if env == "cold" {
+		mode = codesignvm.WarmOff
+	}
+	prog, err := codesignvm.LoadWorkload("Word", 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 9_000_000
+	cfg := codesignvm.DefaultConfig(codesignvm.VMSoft)
+	var snap *codesignvm.Snapshot
+	if mode != codesignvm.WarmOff {
+		vm := codesignvm.NewConfiguredVM(cfg, prog)
+		if _, err := vm.Run(budget); err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := vm.SaveTranslations(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if snap, err = codesignvm.ParseSnapshot(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		cfg.WarmStart = mode
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := codesignvm.RunConfigWarm(cfg, prog, budget, nil, snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cycles, "sim-cycles")
+		b.ReportMetric(float64(res.RestoredTranslations), "restored")
+		b.ReportMetric(float64(res.BBTTranslations), "bbt-xlations")
 	}
 }
 

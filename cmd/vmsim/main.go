@@ -14,6 +14,11 @@
 // figures (2, 3, 8–11) in one process so they share simulation
 // results; "all" adds the extension experiments.
 //
+// Warm start (persistent translation caches; see DESIGN.md §10):
+//
+//	vmsim -exp warmstart                 # cold vs lazy/hybrid/eager figure
+//	vmsim -exp run -warm-cache lazy      # single-run warm-vs-cold A/B
+//
 // Observability (see OBSERVABILITY.md):
 //
 //	vmsim -exp fig2 -metrics table           # aggregate metric table
@@ -30,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -49,7 +55,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist pressure coldstart ctxswitch staged deltasweep dump run sweep all")
+	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist warmstart pressure coldstart ctxswitch staged deltasweep dump run sweep all")
 	scaleFlag  = flag.Int("scale", 25, "workload scale divisor (1 = paper-sized)")
 	appsFlag   = flag.String("apps", "", "comma-separated subset of benchmarks (default: all ten)")
 	modelFlag  = flag.String("model", "VM.soft", "machine model for -exp run")
@@ -61,6 +67,7 @@ var (
 	freshFlag  = flag.Bool("fresh", false, "disable the simulation-result caches (in-process memoization and -store reads)")
 	storeFlag  = flag.String("store", "", "directory for the persistent cross-process run store (empty: disabled; see docs/runstore.md)")
 	storeMax   = flag.Int64("store-max", 0, "cap on total -store record bytes; least-recently-used records are evicted at startup (0: uncapped)")
+	warmFlag   = flag.String("warm-cache", "off", "warm-start restore policy for -exp run: off lazy hybrid eager (runs a cold pass first, snapshots its translations, then A/Bs the warm restore)")
 
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -394,7 +401,7 @@ func run() error {
 	exps := []string{*expFlag}
 	switch *expFlag {
 	case "all":
-		exps = []string{"table2", "table1", "fig3", "overhead", "threshold", "fig2", "fig8", "fig9", "fig10", "fig11", "ablation", "persist", "pressure", "coldstart", "ctxswitch", "staged", "deltasweep"}
+		exps = []string{"table2", "table1", "fig3", "overhead", "threshold", "fig2", "fig8", "fig9", "fig10", "fig11", "ablation", "persist", "warmstart", "pressure", "coldstart", "ctxswitch", "staged", "deltasweep"}
 	case "sweep":
 		// The paper's figures in one process: fig8/fig9/fig11 share
 		// their long-trace runs and fig10's VM.soft run seeds the
@@ -480,6 +487,12 @@ func runOne(exp string) error {
 			return err
 		}
 		fmt.Print(codesignvm.FormatPersist(rep))
+	case "warmstart":
+		rep, err := codesignvm.WarmStartExperiment(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(codesignvm.FormatWarmStart(rep))
 	case "pressure":
 		rep, err := codesignvm.CodeCachePressureExperiment(opt, *appFlag, nil)
 		if err != nil {
@@ -541,18 +554,49 @@ func runSingle(opt codesignvm.Options) error {
 	if budget == 0 {
 		budget = 500_000_000 / uint64(*scaleFlag)
 	}
+	warmMode, err := codesignvm.ParseWarmStart(*warmFlag)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s on %v: %d static instrs, budget %d\n", *appFlag, m, prog.StaticInstrs, budget)
 	cfg := codesignvm.DefaultConfig(m)
 	cfg.Pipeline = *pipeFlag
 	start := time.Now()
 	// NewRun on a nil observer returns a nil recorder: observability off.
-	res, err := codesignvm.RunConfigObserved(cfg, prog, budget, obsv.NewRun(fmt.Sprintf("%v/%s", m, *appFlag)))
+	vm := codesignvm.NewConfiguredVM(cfg, prog)
+	vm.SetObserver(obsv.NewRun(fmt.Sprintf("%v/%s", m, *appFlag)))
+	res, err := vm.Run(budget)
 	if err != nil {
 		return err
 	}
 	el := time.Since(start)
 	fmt.Printf("retired %d instructions in %.4g cycles (IPC %.3f) — %.1fM instrs/s wall\n",
 		res.Instrs, res.Cycles, res.IPC(), float64(res.Instrs)/el.Seconds()/1e6)
+	if warmMode != codesignvm.WarmOff {
+		// A/B: snapshot the cold run's translation caches, then re-run
+		// the same workload restoring from them.
+		var buf bytes.Buffer
+		if err := vm.SaveTranslations(&buf); err != nil {
+			return err
+		}
+		snap, err := codesignvm.ParseSnapshot(buf.Bytes())
+		if err != nil {
+			return err
+		}
+		wcfg := cfg
+		wcfg.WarmStart = warmMode
+		wstart := time.Now()
+		wres, err := codesignvm.RunConfigWarm(wcfg, prog, budget,
+			obsv.NewRun(fmt.Sprintf("%v/%s/warm-%v", m, *appFlag, warmMode)), snap)
+		if err != nil {
+			return err
+		}
+		wel := time.Since(wstart)
+		fmt.Printf("warm-%v: %.4g cycles (cold %.4g, %.2fx), restored %d translations (%d x86 instrs) of %d snapshotted (%d bytes), %d BBT re-translations — %v wall (cold %v)\n",
+			warmMode, wres.Cycles, res.Cycles, res.Cycles/wres.Cycles,
+			wres.RestoredTranslations, wres.RestoredX86, snap.Len(), buf.Len(),
+			wres.BBTTranslations, wel.Round(time.Millisecond), el.Round(time.Millisecond))
+	}
 	fmt.Printf("steady-state IPC (tail): %.3f   hotspot coverage: %.1f%%\n",
 		codesignvm.SteadyIPC(res.Samples, 0.5), 100*res.HotspotCoverage())
 	fmt.Printf("cycle breakdown:\n")

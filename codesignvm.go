@@ -38,6 +38,7 @@ import (
 	"io"
 	"net/http"
 
+	"codesignvm/internal/codecache"
 	"codesignvm/internal/experiments"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
@@ -241,6 +242,45 @@ func RunConfigObserved(cfg Config, prog *Program, maxInstrs uint64, rec *Recorde
 // scenarios).
 func NewVM(m Model, prog *Program) *VM { return machine.NewVM(m, prog) }
 
+// NewConfiguredVM builds a VM from an explicit configuration without
+// running it (e.g. to Restore a warm-start snapshot before Run).
+func NewConfiguredVM(cfg Config, prog *Program) *VM {
+	return vmm.New(cfg, prog.Memory(), prog.InitState())
+}
+
+// Warm start: persistent translation caches with lazy restore.
+
+type (
+	// WarmStart selects the translation-cache restore policy of a run
+	// (off, lazy fault-in, hybrid hot-head preload, eager full preload).
+	WarmStart = vmm.WarmStart
+	// Snapshot is a parsed CCVM2 translation-cache snapshot with a lazy
+	// per-translation index (produced by VM.SaveTranslations).
+	Snapshot = codecache.Snapshot
+)
+
+// Warm-start restore policies (Config.WarmStart).
+const (
+	WarmOff    = vmm.WarmOff
+	WarmLazy   = vmm.WarmLazy
+	WarmHybrid = vmm.WarmHybrid
+	WarmEager  = vmm.WarmEager
+)
+
+// ParseWarmStart resolves "off", "lazy", "hybrid" or "eager".
+func ParseWarmStart(s string) (WarmStart, error) { return vmm.ParseWarmStart(s) }
+
+// ParseSnapshot validates and indexes a serialized translation
+// snapshot (the bytes VM.SaveTranslations wrote) without decoding the
+// translations; VM.Restore faults them in per the configured policy.
+func ParseSnapshot(data []byte) (*Snapshot, error) { return codecache.ParseSnapshot(data) }
+
+// RunConfigWarm is RunConfigObserved with an optional warm-start
+// snapshot restored (per cfg.WarmStart) before the run begins.
+func RunConfigWarm(cfg Config, prog *Program, maxInstrs uint64, rec *Recorder, snap *Snapshot) (*Result, error) {
+	return machine.RunConfigWarm(cfg, prog, maxInstrs, rec, snap)
+}
+
 // Startup-curve analysis helpers.
 
 // SteadyIPC estimates steady-state IPC from the tail of a run.
@@ -311,6 +351,15 @@ func PersistentStartupExperiment(opt Options) (*experiments.PersistReport, error
 	return experiments.PersistentStartup(opt)
 }
 
+// WarmStartCurves is the warm-start startup-figure report type.
+type WarmStartCurves = experiments.WarmStartCurves
+
+// WarmStartExperiment runs the warm-start startup figure: cold VM.soft
+// vs lazy/hybrid/eager persistent-cache restore vs Ref (DESIGN.md §10).
+func WarmStartExperiment(opt Options) (*WarmStartCurves, error) {
+	return experiments.WarmStartFig(opt)
+}
+
 // CodeCachePressureExperiment sweeps code-cache capacities (extension
 // experiment quantifying the paper's §1.1 multitasking concern).
 func CodeCachePressureExperiment(opt Options, app string, sizes []uint32) (*experiments.PressureReport, error) {
@@ -359,6 +408,7 @@ var (
 	FormatTable1    = experiments.FormatTable1
 	FormatTable2    = experiments.FormatTable2
 	FormatPersist   = experiments.FormatPersist
+	FormatWarmStart = experiments.FormatWarmStart
 	FormatPressure  = experiments.FormatPressure
 	FormatColdStart = experiments.FormatColdStart
 	FormatSwitch    = experiments.FormatSwitch

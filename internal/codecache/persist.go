@@ -2,9 +2,12 @@ package codecache
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"sort"
 
 	"codesignvm/internal/fisa"
 )
@@ -13,52 +16,253 @@ import (
 // a later run can start with them resident — the FX!32-style
 // translate-once-reuse-later strategy discussed in the paper's related
 // work (§1.2). Micro-op code is stored in its real binary encoding;
-// execution metadata (per-micro-op architected PCs and retirement
-// counts) and exit descriptors ride alongside.
+// execution metadata (per-micro-op architected PCs) and exit descriptors
+// ride alongside.
+//
+// Format (CCVM2). One section per cache:
+//
+//	magic "CCVM2"
+//	u32   count
+//	count × index entry (24 bytes):
+//	        u32 entry PC, u32 kind, u32 x86 instrs,
+//	        u64 saved retirement count, u32 record length
+//	count translation records, back to back in index order
+//	u32   CRC-32C (Castagnoli) over everything above
+//
+// The index is the warm-start contract: a restorer maps entry PC to a
+// record's (offset, length) without decoding any record, so restored
+// translations can fault in lazily on first dispatch miss (Snapshot /
+// ParseSnapshot below). Save emits translations in ascending-EntryPC
+// order and skips invalidated ones, so the byte stream is a pure
+// function of the live cache contents: saving the same simulation state
+// twice — or from any host execution mode — produces identical bytes.
+// Any truncation, extension or bit flip breaks the CRC trailer; a
+// record that decodes to a different shape than its index entry claims
+// is rejected too.
 
-const persistMagic = "CCVM1"
+const (
+	persistMagic = "CCVM2"
 
-// Save writes every live translation to w.
+	indexEntrySize = 24
+	// maxPersistCount / maxPersistRecord bound what a parser will
+	// allocate for before the checksum has been verified.
+	maxPersistCount  = 1 << 20
+	maxPersistRecord = 1 << 26
+	minPersistRecord = 28 // the 7×u32 record header alone
+)
+
+// persistCRC is the Castagnoli polynomial (same choice as the run
+// store's CRUN2 records: hardware-accelerated on amd64/arm64).
+var persistCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes every live translation to w as one CCVM2 section, in
+// ascending-EntryPC order. Invalidated translations (superseded BBT
+// blocks awaiting a flush) are skipped: the snapshot is the set a fresh
+// run can actually dispatch.
 func (c *Cache) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(persistMagic); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.table))); err != nil {
-		return err
-	}
+	live := make([]*Translation, 0, len(c.table))
 	for _, t := range c.table {
+		if t.Invalid {
+			continue
+		}
+		live = append(live, t)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].EntryPC < live[j].EntryPC })
+
+	// Encode the records first: the index needs their lengths.
+	var body bytes.Buffer
+	bw := bufio.NewWriter(&body)
+	lens := make([]int, len(live))
+	for i, t := range live {
+		before := body.Len()
 		if err := writeTranslation(bw, t); err != nil {
 			return fmt.Errorf("codecache: save %#x: %w", t.EntryPC, err)
 		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		lens[i] = body.Len() - before
 	}
-	return bw.Flush()
+
+	var sec bytes.Buffer
+	sec.WriteString(persistMagic)
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		sec.Write(b[:])
+	}
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		sec.Write(b[:])
+	}
+	u32(uint32(len(live)))
+	for i, t := range live {
+		u32(t.EntryPC)
+		u32(uint32(t.Kind))
+		u32(uint32(t.NumX86))
+		u64(t.ExecCount)
+		u32(uint32(lens[i]))
+	}
+	sec.Write(body.Bytes())
+	u32(crc32.Checksum(sec.Bytes(), persistCRC))
+	_, err := w.Write(sec.Bytes())
+	return err
 }
 
-// Load reads translations from r and inserts them into the cache,
-// returning how many were restored. Loaded translations keep their
-// content but receive fresh code-cache addresses.
+// SnapEntry is one translation's index entry in a parsed snapshot: the
+// identity a restorer needs (entry PC, kind, size, saved retirement
+// count for hot-first preloading) plus the record's location.
+type SnapEntry struct {
+	EntryPC uint32
+	Kind    TransKind
+	NumX86  uint32
+	// Exec is the translation's software retirement count at save time.
+	// It orders hybrid warm-start preloading (hottest head first); the
+	// restored translation itself starts profiling from zero.
+	Exec uint64
+
+	off, n int // record location in the snapshot bytes
+}
+
+// Snapshot is a parsed, checksum-verified CCVM2 byte stream (one or
+// more sections): an index of every persisted translation plus the
+// still-encoded record bytes, so individual translations can be decoded
+// lazily with Decode. The underlying bytes are retained and must not be
+// mutated by the caller. A Snapshot is immutable after ParseSnapshot
+// and safe for concurrent Decode calls.
+type Snapshot struct {
+	data    []byte
+	Entries []SnapEntry
+	// Sections counts the CCVM2 sections parsed. A full VM snapshot
+	// (vmm.SaveTranslations) is always exactly two — BBT then SBT, even
+	// when empty — so consumers can reject a stream truncated at a
+	// section boundary, which is structurally valid section by section.
+	Sections int
+}
+
+// Len returns the number of persisted translations.
+func (s *Snapshot) Len() int { return len(s.Entries) }
+
+// Size returns the snapshot's encoded size in bytes.
+func (s *Snapshot) Size() int { return len(s.data) }
+
+// ParseSnapshot validates a CCVM2 byte stream — every section's
+// structure and CRC-32C trailer — and builds the lazy-restore index.
+// It decodes no translation records; Decode does that per entry.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("codecache: empty snapshot")
+	}
+	s := &Snapshot{data: data}
+	for off := 0; off < len(data); {
+		entries, n, err := parseSection(data[off:], off)
+		if err != nil {
+			return nil, fmt.Errorf("codecache: snapshot section at %d: %w", off, err)
+		}
+		s.Entries = append(s.Entries, entries...)
+		s.Sections++
+		off += n
+	}
+	return s, nil
+}
+
+// parseSection validates one CCVM2 section at the start of sec and
+// returns its index entries (offsets made absolute with base) and its
+// total encoded length.
+func parseSection(sec []byte, base int) ([]SnapEntry, int, error) {
+	hdr := len(persistMagic) + 4
+	if len(sec) < hdr {
+		return nil, 0, fmt.Errorf("truncated header (%d bytes)", len(sec))
+	}
+	if string(sec[:len(persistMagic)]) != persistMagic {
+		return nil, 0, fmt.Errorf("bad magic %q", sec[:len(persistMagic)])
+	}
+	count := int(binary.LittleEndian.Uint32(sec[len(persistMagic):hdr]))
+	if count > maxPersistCount {
+		return nil, 0, fmt.Errorf("implausible translation count %d", count)
+	}
+	idxEnd := hdr + count*indexEntrySize
+	if idxEnd < hdr || len(sec) < idxEnd {
+		return nil, 0, fmt.Errorf("truncated index (%d entries, %d bytes)", count, len(sec))
+	}
+	entries := make([]SnapEntry, count)
+	off := idxEnd
+	for i := range entries {
+		e := &entries[i]
+		ix := sec[hdr+i*indexEntrySize:]
+		e.EntryPC = binary.LittleEndian.Uint32(ix)
+		e.Kind = TransKind(binary.LittleEndian.Uint32(ix[4:]))
+		e.NumX86 = binary.LittleEndian.Uint32(ix[8:])
+		e.Exec = binary.LittleEndian.Uint64(ix[12:])
+		n := int(binary.LittleEndian.Uint32(ix[20:]))
+		if e.Kind != KindBBT && e.Kind != KindSBT {
+			return nil, 0, fmt.Errorf("entry %d: unknown translation kind %d", i, e.Kind)
+		}
+		if n < minPersistRecord || n > maxPersistRecord {
+			return nil, 0, fmt.Errorf("entry %d: implausible record length %d", i, n)
+		}
+		e.off, e.n = base+off, n
+		off += n
+		if off > len(sec)-4 {
+			return nil, 0, fmt.Errorf("entry %d: record overruns section", i)
+		}
+	}
+	if len(sec) < off+4 {
+		return nil, 0, fmt.Errorf("truncated checksum trailer")
+	}
+	sum := binary.LittleEndian.Uint32(sec[off:])
+	if got := crc32.Checksum(sec[:off], persistCRC); got != sum {
+		return nil, 0, fmt.Errorf("checksum mismatch (got %08x, want %08x)", got, sum)
+	}
+	return entries, off + 4, nil
+}
+
+// Decode decodes entry i into a fresh heap translation, cross-checked
+// against its index entry. The caller owns the result (typically
+// re-analyzed and committed into a cache arena via Insert).
+func (s *Snapshot) Decode(i int) (*Translation, error) {
+	e := &s.Entries[i]
+	rec := s.data[e.off : e.off+e.n]
+	sr := bytes.NewReader(rec)
+	br := bufio.NewReader(sr)
+	t, err := readTranslation(br)
+	if err != nil {
+		return nil, fmt.Errorf("codecache: decode %#x: %w", e.EntryPC, err)
+	}
+	if br.Buffered()+sr.Len() != 0 {
+		return nil, fmt.Errorf("codecache: decode %#x: %d trailing record bytes", e.EntryPC, br.Buffered()+sr.Len())
+	}
+	if t.EntryPC != e.EntryPC || t.Kind != e.Kind || t.NumX86 != int(e.NumX86) {
+		return nil, fmt.Errorf("codecache: decode %#x: record disagrees with index (pc %#x kind %d x86 %d)",
+			e.EntryPC, t.EntryPC, t.Kind, t.NumX86)
+	}
+	return t, nil
+}
+
+// Load reads one CCVM2 section from r and eagerly inserts every
+// translation into the cache, returning how many were restored. Loaded
+// translations keep their content but receive fresh code-cache
+// addresses; the stream may hold further sections for other caches.
 func (c *Cache) Load(r io.Reader) (int, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
 	}
-	magic := make([]byte, len(persistMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	sec, err := readSectionBytes(br)
+	if err != nil {
 		return 0, err
 	}
-	if string(magic) != persistMagic {
-		return 0, fmt.Errorf("codecache: bad magic %q", magic)
+	entries, _, err := parseSection(sec, 0)
+	if err != nil {
+		return 0, fmt.Errorf("codecache: load: %w", err)
 	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return 0, err
-	}
+	snap := &Snapshot{data: sec, Entries: entries}
 	loaded := 0
-	for i := uint32(0); i < count; i++ {
-		t, err := readTranslation(br)
+	for i := range entries {
+		t, err := snap.Decode(i)
 		if err != nil {
-			return loaded, fmt.Errorf("codecache: load translation %d: %w", i, err)
+			return loaded, err
 		}
 		if _, _, err := c.Insert(t); err != nil {
 			return loaded, err
@@ -66,6 +270,41 @@ func (c *Cache) Load(r io.Reader) (int, error) {
 		loaded++
 	}
 	return loaded, nil
+}
+
+// readSectionBytes consumes exactly one CCVM2 section from the stream
+// (sized by its header and index) and returns its raw bytes.
+func readSectionBytes(br *bufio.Reader) ([]byte, error) {
+	hdr := len(persistMagic) + 4
+	buf := make([]byte, hdr)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	if string(buf[:len(persistMagic)]) != persistMagic {
+		return nil, fmt.Errorf("codecache: bad magic %q", buf[:len(persistMagic)])
+	}
+	count := int(binary.LittleEndian.Uint32(buf[len(persistMagic):]))
+	if count > maxPersistCount {
+		return nil, fmt.Errorf("codecache: implausible translation count %d", count)
+	}
+	idx := make([]byte, count*indexEntrySize)
+	if _, err := io.ReadFull(br, idx); err != nil {
+		return nil, err
+	}
+	buf = append(buf, idx...)
+	body := 0
+	for i := 0; i < count; i++ {
+		n := int(binary.LittleEndian.Uint32(idx[i*indexEntrySize+20:]))
+		if n < minPersistRecord || n > maxPersistRecord || body > maxPersistCount*maxPersistRecord-n {
+			return nil, fmt.Errorf("codecache: entry %d: implausible record length %d", i, n)
+		}
+		body += n
+	}
+	rest := make([]byte, body+4) // records + CRC trailer
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return nil, err
+	}
+	return append(buf, rest...), nil
 }
 
 func writeTranslation(w *bufio.Writer, t *Translation) error {
@@ -86,7 +325,7 @@ func writeTranslation(w *bufio.Writer, t *Translation) error {
 		return err
 	}
 	// Metadata sidecar: per-µop architected PC (delta from entry) and
-	// retirement count.
+	// boundary marker.
 	for i := range t.Uops {
 		if err := binary.Write(w, binary.LittleEndian, t.Uops[i].X86PC); err != nil {
 			return err

@@ -5,11 +5,11 @@ import (
 	"testing"
 )
 
-// figureHarnesses renders all six paper figures at the detOpt scale.
-// The deliberately excluded surface is the PersistentStartup extension:
-// its FX!32 table iterates a Go map when saving translations, so its
-// warm-start columns are not byte-stable run to run (a pre-existing
-// property, documented in EXPERIMENTS.md) and it is not a paper figure.
+// figureHarnesses renders all six paper figures at the detOpt scale,
+// plus the extension reports with report-shaped output: the FX!32
+// persistent-startup table (byte-stable since Cache.Save started
+// emitting translations in sorted EntryPC order) and the warm-start
+// startup figure.
 var figureHarnesses = []struct {
 	name string
 	run  func(Options) (string, error)
@@ -55,6 +55,20 @@ var figureHarnesses = []struct {
 			return "", err
 		}
 		return FormatFig11(r), nil
+	}},
+	{"persist", func(o Options) (string, error) {
+		r, err := PersistentStartup(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatPersist(r), nil
+	}},
+	{"warmstart", func(o Options) (string, error) {
+		r, err := WarmStartFig(o)
+		if err != nil {
+			return "", err
+		}
+		return FormatWarmStart(r), nil
 	}},
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"codesignvm/internal/codecache"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
@@ -60,6 +61,19 @@ func resetRunCacheForTest() {
 // its own Samples slice, so mutating a report's result cannot corrupt
 // the cache.
 func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result, error) {
+	return o.runAppWarm(cfg, app, instrs, nil)
+}
+
+// snapFunc lazily produces the warm-start snapshot a run restores
+// from. It is called only when a simulation actually happens — run
+// results served from the in-process cache or the disk store never
+// build (or even load) a snapshot. nil means cold start.
+type snapFunc func() (*codecache.Snapshot, error)
+
+// runAppWarm is runApp with an optional warm-start snapshot source.
+// Warm modes are distinct simulated configurations (cfg.WarmStart),
+// so they occupy distinct cache slots and store keys automatically.
+func (o Options) runAppWarm(cfg vmm.Config, app string, instrs uint64, snapFn snapFunc) (*vmm.Result, error) {
 	scale := o.Scale
 	if scale < 1 {
 		scale = 1 // match workload.App's clamp so keys do not split
@@ -69,7 +83,7 @@ func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result,
 		if err != nil {
 			return nil, err
 		}
-		res, err := o.runObserved(cfg, prog, app, instrs)
+		res, err := o.runObserved(cfg, prog, app, instrs, snapFn)
 		if err == nil {
 			if s := o.store(); s != nil {
 				// Fresh runs skip store reads but still publish: a later
@@ -82,7 +96,7 @@ func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result,
 	e, _ := runCache.LoadOrStore(newRunKey(cfg, app, scale, instrs), new(runEntry))
 	entry := e.(*runEntry)
 	entry.once.Do(func() {
-		entry.res, entry.err = o.simulateOrLoad(cfg, app, scale, instrs)
+		entry.res, entry.err = o.simulateOrLoad(cfg, app, scale, instrs, snapFn)
 	})
 	if entry.err != nil {
 		return nil, entry.err
@@ -95,7 +109,7 @@ func (o Options) runApp(cfg vmm.Config, app string, instrs uint64) (*vmm.Result,
 // processes through the store's heartbeat-refreshed lock file, and
 // published back). Every store failure mode degrades to simulating;
 // only workload errors and context cancellation propagate.
-func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs uint64) (*vmm.Result, error) {
+func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs uint64, snapFn snapFunc) (*vmm.Result, error) {
 	s := o.store()
 	var key string
 	if s != nil {
@@ -111,10 +125,10 @@ func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs ui
 		return nil, err
 	}
 	if s == nil {
-		return o.runObserved(cfg, prog, app, instrs)
+		return o.runObserved(cfg, prog, app, instrs, snapFn)
 	}
 	for attempt := 0; ; attempt++ {
-		release, won, err := s.acquire(key)
+		release, won, err := s.acquire(key, s.runPath(key))
 		if err != nil {
 			return nil, err // cancelled mid-wait
 		}
@@ -137,7 +151,7 @@ func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs ui
 			o.obsStore(true, cfg, app)
 			return res, nil
 		}
-		res, err := o.runObserved(cfg, prog, app, instrs)
+		res, err := o.runObserved(cfg, prog, app, instrs, snapFn)
 		if err == nil {
 			s.save(key, res) // best-effort publication
 		}
@@ -152,13 +166,25 @@ func (o Options) obsTag(cfg vmm.Config, app string) string {
 }
 
 // runObserved simulates one run, minting a per-run recorder and keeping
-// the process-level run counters when observability is enabled.
-func (o Options) runObserved(cfg vmm.Config, prog *workload.Program, app string, instrs uint64) (*vmm.Result, error) {
+// the process-level run counters when observability is enabled. A
+// non-nil snapFn supplies the warm-start snapshot, materialized only
+// here — on the simulate path, never on a cache or store hit. A
+// snapshot failure degrades the run to a cold start (snapFn reports
+// nil in that case), never to an error: warm start is an accelerator
+// of the simulated machine, and the run must still produce a report.
+func (o Options) runObserved(cfg vmm.Config, prog *workload.Program, app string, instrs uint64, snapFn snapFunc) (*vmm.Result, error) {
+	var snap *codecache.Snapshot
+	if snapFn != nil && cfg.WarmStart != vmm.WarmOff {
+		var err error
+		if snap, err = snapFn(); err != nil {
+			return nil, err
+		}
+	}
 	if o.Obs == nil {
-		return machine.RunConfig(cfg, prog, instrs)
+		return machine.RunConfigWarm(cfg, prog, instrs, nil, snap)
 	}
 	o.Obs.Proc.Counter("runs.started", "runs").Inc()
-	res, err := machine.RunConfigObserved(cfg, prog, instrs, o.Obs.NewRun(o.obsTag(cfg, app)))
+	res, err := machine.RunConfigWarm(cfg, prog, instrs, o.Obs.NewRun(o.obsTag(cfg, app)), snap)
 	if err == nil {
 		o.Obs.Proc.Counter("runs.done", "runs").Inc()
 	}

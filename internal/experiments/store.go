@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"codesignvm/internal/codecache"
 	"codesignvm/internal/experiments/faultfs"
 	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
@@ -56,7 +57,10 @@ const (
 	// own; the version covers Result/encoding changes.
 	// v2: appended observability metric snapshots (Result.Metrics).
 	// v3: CRUN2 — CRC-32C trailer + trailing-EOF verification.
-	runSchema = 3
+	// v4: warm-start — Result.RestoredTranslations/RestoredX86 appended
+	//     and vmm.Config gained the WarmStart/Restore* fields (which
+	//     change the hashed %#v form on their own).
+	runSchema = 4
 )
 
 // storeTuning groups the lock-protocol and GC time/size constants so
@@ -168,6 +172,7 @@ func runFileKey(cfg vmm.Config, app string, scale int, instrs uint64) string {
 
 func (s *runStore) runPath(key string) string  { return filepath.Join(s.dir, key+".run") }
 func (s *runStore) lockPath(key string) string { return filepath.Join(s.dir, key+".lock") }
+func (s *runStore) snapPath(key string) string { return filepath.Join(s.dir, key+".ccvm") }
 
 // load reads a previously persisted result, returning (nil, nil) on
 // any miss — absent file, failed checksum, truncation — so callers
@@ -189,6 +194,53 @@ func (s *runStore) load(key string) (*vmm.Result, error) {
 	now := time.Now()
 	s.fs.Chtimes(path, now, now) // LRU touch; best-effort
 	return res, nil
+}
+
+// loadSnapshot reads a persisted translation snapshot (<key>.ccvm),
+// returning nil on any miss so callers rebuild from a cold run. The
+// snapshot's own CRC-32C sections are the integrity check; a file that
+// fails to parse — or does not hold exactly the two sections
+// vmm.SaveTranslations writes (a stream truncated at a section boundary
+// is section-wise valid) — is quarantined like a corrupt run record.
+func (s *runStore) loadSnapshot(key string) *codecache.Snapshot {
+	path := s.snapPath(key)
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	snap, perr := codecache.ParseSnapshot(data)
+	if perr == nil && snap.Sections != 2 {
+		perr = fmt.Errorf("experiments: snapshot has %d sections, want 2", snap.Sections)
+	}
+	if perr != nil {
+		s.quarantine(key, path, len(data), perr)
+		return nil
+	}
+	storeHits.Add(1)
+	now := time.Now()
+	s.fs.Chtimes(path, now, now) // LRU touch; best-effort
+	return snap
+}
+
+// saveSnapshot persists one translation snapshot atomically (temp file
+// + rename, like save). Best-effort for callers.
+func (s *runStore) saveSnapshot(key string, data []byte) error {
+	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := s.fs.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(data)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.fs.Remove(tmp.Name())
+		return err
+	}
+	return s.fs.Rename(tmp.Name(), s.snapPath(key))
 }
 
 // quarantine moves a corrupt record aside as <key>.bad so it is never
@@ -230,10 +282,12 @@ func (s *runStore) save(key string, res *vmm.Result) error {
 
 // acquire tries to become the single flight for key across processes.
 // It returns won=true with a release func when this process should
-// simulate (release is a no-op if the wait degraded), won=false after
-// another process's result appeared (the caller re-reads the store),
-// or err when the context was cancelled mid-wait.
-func (s *runStore) acquire(key string) (release func(), won bool, err error) {
+// produce the artifact (release is a no-op if the wait degraded),
+// won=false after another process's artifact appeared at the given
+// path (the caller re-reads the store), or err when the context was
+// cancelled mid-wait. Run results and translation snapshots share the
+// protocol; the artifact path is what waiters poll for.
+func (s *runStore) acquire(key, artifact string) (release func(), won bool, err error) {
 	if err := s.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return func() {}, true, nil // can't lock: just simulate
 	}
@@ -277,7 +331,7 @@ func (s *runStore) acquire(key string) (release func(), won bool, err error) {
 		if wait *= 2; wait > s.tun.pollMax {
 			wait = s.tun.pollMax
 		}
-		if _, serr := s.fs.Stat(s.runPath(key)); serr == nil {
+		if _, serr := s.fs.Stat(artifact); serr == nil {
 			return nil, false, nil
 		}
 	}
@@ -436,7 +490,8 @@ func (s *runStore) gc() {
 					removed++
 				}
 			}
-		case strings.HasSuffix(name, ".run") || strings.HasSuffix(name, ".bad"):
+		case strings.HasSuffix(name, ".run") || strings.HasSuffix(name, ".bad") ||
+			strings.HasSuffix(name, ".ccvm"):
 			records = append(records, record{path, fi.Size(), fi.ModTime()})
 			total += fi.Size()
 		}
@@ -544,7 +599,8 @@ func writeResult(w *bufio.Writer, r *vmm.Result) error {
 		r.BBTTranslations, r.SBTTranslations, r.BBTX86Translated, r.SBTX86Translated,
 		r.XltInvocations, r.XltBusyCycles, r.Callouts,
 		r.JTLBHits, r.JTLBMisses, r.ShadowEvictions,
-		r.SBTInstrs, r.BBTInstrs, r.X86Instrs, r.InterpInstrs); err != nil {
+		r.SBTInstrs, r.BBTInstrs, r.X86Instrs, r.InterpInstrs,
+		r.RestoredTranslations, r.RestoredX86); err != nil {
 		return err
 	}
 	if err := le(fbits(r.X86ModeCycles)...); err != nil {
@@ -646,6 +702,7 @@ func readResult(br *bufio.Reader) (*vmm.Result, error) {
 		&r.XltInvocations, &r.XltBusyCycles, &r.Callouts,
 		&r.JTLBHits, &r.JTLBMisses, &r.ShadowEvictions,
 		&r.SBTInstrs, &r.BBTInstrs, &r.X86Instrs, &r.InterpInstrs,
+		&r.RestoredTranslations, &r.RestoredX86,
 	} {
 		read64(dst)
 	}

@@ -224,7 +224,7 @@ func TestRunStoreLockSingleFlight(t *testing.T) {
 	s := testStore(t)
 	key := "cafef00d"
 
-	release, won, err := s.acquire(key)
+	release, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatalf("first contender did not win the lock (won=%v err=%v)", won, err)
 	}
@@ -235,7 +235,7 @@ func TestRunStoreLockSingleFlight(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		_, w, e := s.acquire(key)
+		_, w, e := s.acquire(key, s.runPath(key))
 		done <- outcome{w, e}
 	}()
 
@@ -264,7 +264,7 @@ func TestRunStoreLockSingleFlight(t *testing.T) {
 
 	// With the lock released and a result on disk the next acquire
 	// still wins (callers check the store before locking).
-	release2, won2, err := s.acquire(key)
+	release2, won2, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won2 {
 		t.Fatal("post-release contender did not win the freed lock")
 	}
@@ -278,7 +278,7 @@ func TestRunStoreHeartbeatPreventsSteal(t *testing.T) {
 	s := testStore(t)
 	key := "11febeef"
 
-	release, won, err := s.acquire(key)
+	release, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatal("owner did not win the lock")
 	}
@@ -289,7 +289,7 @@ func TestRunStoreHeartbeatPreventsSteal(t *testing.T) {
 	stealsBefore := storeSteals.Load()
 	done := make(chan bool, 1)
 	go func() {
-		_, w, _ := s.acquire(key)
+		_, w, _ := s.acquire(key, s.runPath(key))
 		done <- w
 	}()
 	select {
@@ -330,7 +330,7 @@ func TestRunStoreStaleSteal(t *testing.T) {
 	wins := make(chan bool, waiters)
 	for i := 0; i < waiters; i++ {
 		go func() {
-			release, won, err := s.acquire(key)
+			release, won, err := s.acquire(key, s.runPath(key))
 			if err != nil {
 				t.Error(err)
 				wins <- false
@@ -439,7 +439,7 @@ func TestRunStoreStealRespectsFreshLock(t *testing.T) {
 	if err := os.Remove(lock); err != nil {
 		t.Fatal(err)
 	}
-	release, won, err := s.acquire(key)
+	release, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatal("fresh owner did not win")
 	}
@@ -460,7 +460,7 @@ func TestRunStoreReleaseAfterStealDoesNotRemoveNewLock(t *testing.T) {
 	s := testStore(t)
 	key := "ab5c0nd"
 
-	release1, won, err := s.acquire(key)
+	release1, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatal("first owner did not win")
 	}
@@ -469,7 +469,7 @@ func TestRunStoreReleaseAfterStealDoesNotRemoveNewLock(t *testing.T) {
 	if err := os.Remove(s.lockPath(key)); err != nil {
 		t.Fatal(err)
 	}
-	release2, won2, err := s.acquire(key)
+	release2, won2, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won2 {
 		t.Fatal("second owner did not win")
 	}
@@ -491,7 +491,7 @@ func TestRunStoreLockWaitDeadline(t *testing.T) {
 	s.tun.waitMax = 300 * time.Millisecond
 	key := "dead11ne"
 
-	release, won, err := s.acquire(key)
+	release, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatal("owner did not win")
 	}
@@ -499,7 +499,7 @@ func TestRunStoreLockWaitDeadline(t *testing.T) {
 
 	before := storeTimeouts.Load()
 	start := time.Now()
-	rel2, won2, err := s.acquire(key)
+	rel2, won2, err := s.acquire(key, s.runPath(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -525,7 +525,7 @@ func TestRunStoreLockWaitCancellation(t *testing.T) {
 	s := testStore(t)
 	key := "cance1ed"
 
-	release, won, err := s.acquire(key)
+	release, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatal("owner did not win")
 	}
@@ -536,7 +536,7 @@ func TestRunStoreLockWaitCancellation(t *testing.T) {
 	s2.ctx = ctx
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := s2.acquire(key)
+		_, _, err := s2.acquire(key, s2.runPath(key))
 		done <- err
 	}()
 	time.Sleep(30 * time.Millisecond)

@@ -148,7 +148,7 @@ func TestRunStoreReadOnlyStore(t *testing.T) {
 	if err := s.save(key, sampleResult()); !errors.Is(err, syscall.EROFS) {
 		t.Fatalf("want EROFS from save, got %v", err)
 	}
-	release, won, err := s.acquire(key)
+	release, won, err := s.acquire(key, s.runPath(key))
 	if err != nil || !won {
 		t.Fatalf("read-only store must degrade to simulating, got (won=%v err=%v)", won, err)
 	}
@@ -168,7 +168,7 @@ func TestRunStoreMkdirFailure(t *testing.T) {
 	if err := s.save("mkd1r", sampleResult()); !errors.Is(err, syscall.EROFS) {
 		t.Fatalf("want EROFS from save, got %v", err)
 	}
-	release, won, err := s.acquire("mkd1r")
+	release, won, err := s.acquire("mkd1r", s.runPath("mkd1r"))
 	if err != nil || !won {
 		t.Fatalf("unwritable dir must degrade to simulating, got (won=%v err=%v)", won, err)
 	}

@@ -62,7 +62,7 @@ func TestRunStoreStressChild(t *testing.T) {
 		if attempt > 10 {
 			t.Fatal("child livelocked on the store key")
 		}
-		release, won, err := s.acquire(key)
+		release, won, err := s.acquire(key, s.runPath(key))
 		if err != nil {
 			t.Fatalf("acquire: %v", err)
 		}

@@ -16,6 +16,7 @@ package machine
 import (
 	"fmt"
 
+	"codesignvm/internal/codecache"
 	"codesignvm/internal/obs"
 	"codesignvm/internal/vmm"
 	"codesignvm/internal/workload"
@@ -102,9 +103,24 @@ func RunConfig(cfg vmm.Config, prog *workload.Program, maxInstrs uint64) (*vmm.R
 // exactly like RunConfig. The recorder rides on the VM, not the
 // configuration, so cfg remains a comparable cache/store key.
 func RunConfigObserved(cfg vmm.Config, prog *workload.Program, maxInstrs uint64, rec *obs.Recorder) (*vmm.Result, error) {
+	return RunConfigWarm(cfg, prog, maxInstrs, rec, nil)
+}
+
+// RunConfigWarm is RunConfigObserved with an optional warm-start
+// snapshot: when snap is non-nil and the configuration enables warm
+// start, the VM restores its translation caches from the snapshot
+// before the run (vmm.VM.Restore — eager or hybrid preload is charged
+// up front, lazy entries fault in on first dispatch). A nil snapshot
+// or a WarmOff configuration is exactly a cold RunConfigObserved.
+func RunConfigWarm(cfg vmm.Config, prog *workload.Program, maxInstrs uint64, rec *obs.Recorder, snap *codecache.Snapshot) (*vmm.Result, error) {
 	mem := prog.Memory()
 	vm := vmm.New(cfg, mem, prog.InitState())
 	vm.SetObserver(rec)
+	if snap != nil && cfg.WarmStart != vmm.WarmOff {
+		if _, err := vm.Restore(snap); err != nil {
+			return nil, err
+		}
+	}
 	return vm.Run(maxInstrs)
 }
 

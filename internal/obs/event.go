@@ -69,6 +69,15 @@ const (
 	// something: tag = store dir, a = debris files removed (tmp, stale
 	// locks, steal markers), b = records evicted by the size cap.
 	EvStoreGC
+	// EvRestore closes one VM.Restore call (warm-start snapshot
+	// attachment): a = restorable snapshot entries, b = translations
+	// eagerly preloaded (0 for the fully lazy mode), c = x86
+	// instructions covered by the preload.
+	EvRestore
+	// EvRestoreFault is one lazy warm-start fault-in — a dispatch miss
+	// materializing a snapshot translation instead of translating cold:
+	// pc = entry, a = x86 instructions, b = encoded bytes.
+	EvRestoreFault
 	NumEventKinds
 )
 
@@ -92,6 +101,8 @@ var kindInfo = [NumEventKinds]struct {
 	EvStoreCorrupt: {"store-corrupt", "", "bytes", "", ""},
 	EvStoreSteal:   {"store-steal", "", "stale_ns", "", ""},
 	EvStoreGC:      {"store-gc", "", "debris", "evicted", ""},
+	EvRestore:      {"restore", "", "entries", "preloaded", "x86"},
+	EvRestoreFault: {"restore-fault", "pc", "x86", "bytes", ""},
 }
 
 func (k EventKind) String() string {

@@ -56,6 +56,12 @@ type vmObs struct {
 	bbtBlockX86  *obs.Histogram
 	sbtBlockX86  *obs.Histogram
 	drainPending *obs.Histogram
+
+	// Warm-start restore handles, registered lazily by obsRestoreInit
+	// (from VM.Restore): runs that never restore keep exactly the
+	// pre-warm-start metric set, so their snapshots — and anything
+	// derived from them — are unchanged byte for byte.
+	restoreFaults *obs.Counter
 }
 
 // SetObserver attaches (or, with nil, detaches) an observability
@@ -137,8 +143,37 @@ func (v *VM) obsRunEnd() {
 		reg.Gauge(p+"used", "bytes").Set(float64(c.cache.Used()))
 		reg.Gauge(p+"live", "translations").Set(float64(c.cache.Len()))
 	}
+	if v.warm != nil {
+		reg.Counter("vm.restore.translations", "translations").Store(v.res.RestoredTranslations)
+		reg.Counter("vm.restore.x86", "instrs").Store(v.res.RestoredX86)
+		reg.Gauge("vm.restore.pending", "translations").
+			Set(float64(len(v.warm.bbt) + len(v.warm.sbt)))
+	}
 	o.rec.EmitAt(obs.EvRunEnd, 0, v.instrs, v.res.Instrs, uint64(v.res.Cycles), 0)
 	v.res.Metrics = reg.Snapshot()
+}
+
+// obsRestoreInit registers the warm-start metric handles. Called from
+// Restore, never from SetObserver, so cold runs' metric sets are
+// untouched by the warm-start machinery existing.
+func (v *VM) obsRestoreInit() {
+	o := v.obs
+	o.restoreFaults = o.rec.Reg.Counter("vm.restore.faults", "faults")
+}
+
+// obsRestore closes the Restore call: how much of the snapshot is
+// restorable and what the mode preloaded eagerly.
+func (v *VM) obsRestore(preloaded, preloadedX86 uint64) {
+	o := v.obs
+	o.rec.EmitAt(obs.EvRestore, 0, v.instrs,
+		uint64(v.warm.snap.Len()), preloaded, preloadedX86)
+}
+
+// obsRestoreFault reports one lazy fault-in.
+func (v *VM) obsRestoreFault(t *codecache.Translation) {
+	o := v.obs
+	o.restoreFaults.Inc()
+	o.rec.EmitAt(obs.EvRestoreFault, t.EntryPC, v.instrs, uint64(t.NumX86), uint64(t.Size), 0)
 }
 
 func (v *VM) obsBBTTranslate(t *codecache.Translation) {

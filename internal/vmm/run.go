@@ -83,6 +83,10 @@ type VM struct {
 	// every emission site runs on the producer side of the pipeline.
 	obs *vmObs
 
+	// Warm-start state (nil unless Restore attached a snapshot).
+	// Producer-owned: fault-ins happen inside dispatch.
+	warm *warmState
+
 	// tlArmed is the producer-side interval-sampler switch: when set,
 	// emitSample gathers code-cache occupancy (producer-owned state)
 	// into the sample record for the consumer's timeline capture.
@@ -394,10 +398,14 @@ func (v *VM) dispatchSlow() (*codecache.Translation, Category, error) {
 		v.res.JTLBHits++
 	} else {
 		v.res.JTLBMisses++
-		// Lookup: optimized code first.
+		// Lookup: optimized code first. On a miss, a pending warm-start
+		// snapshot may hold the superblock — restoring it skips both the
+		// hot-threshold wait and the optimizer (warm.go).
 		if cfg.Strategy.UsesSBT() {
 			if s := v.sbtCache.Lookup(v.pc); s != nil {
 				t = s
+			} else if v.warm != nil {
+				t = v.warmFault(codecache.KindSBT, v.pc)
 			}
 		}
 		if t == nil {
@@ -545,10 +553,19 @@ func (v *VM) coldUnit() (*codecache.Translation, error) {
 		if t := v.bbtCache.Lookup(v.pc); t != nil && !t.Invalid {
 			return t, nil
 		}
+		if t := v.warmFault(codecache.KindBBT, v.pc); t != nil {
+			return t, nil
+		}
 		return v.translateBBT()
 
 	case StratStaged3:
 		if t := v.bbtCache.Lookup(v.pc); t != nil && !t.Invalid {
+			return t, nil
+		}
+		if t := v.warmFault(codecache.KindBBT, v.pc); t != nil {
+			// Restoring skips the interpret-then-promote staging: drop any
+			// interpreted shadow state the restored block supersedes.
+			v.shadow.remove(v.pc)
 			return t, nil
 		}
 		// Interpret first-touch code; promote to BBT once the block has

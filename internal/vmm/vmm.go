@@ -1,6 +1,8 @@
 package vmm
 
 import (
+	"fmt"
+
 	"codesignvm/internal/bbt"
 	"codesignvm/internal/obs"
 	"codesignvm/internal/profile"
@@ -165,6 +167,76 @@ type Config struct {
 	// byte-identical results; the flag exists for A/B measurement and
 	// as a diagnostic fallback.
 	NoThreadedDispatch bool
+
+	// WarmStart selects how a persisted translation snapshot attached
+	// with VM.Restore enters the code caches (warm.go): WarmOff rejects
+	// Restore (cold translation only, the historical behaviour and the
+	// default), WarmLazy faults each translation in on its first
+	// dispatch miss, WarmHybrid eagerly preloads the hottest
+	// WarmEagerFraction of the snapshot (by saved retirement count) and
+	// faults in the tail, WarmEager materializes everything up front.
+	// The mode changes the simulated machine: restore costs below are
+	// charged instead of translation costs, so results differ across
+	// modes by design — while any single mode stays byte-identical
+	// across the host-side execution modes (Pipeline,
+	// NoThreadedDispatch), which is why those are normalized out of run
+	// keys and this field is not.
+	WarmStart WarmStart
+
+	// RestoreCyclesPerInst is the simulated VMM cost, per covered x86
+	// instruction, of materializing one snapshot translation: mapping,
+	// copying and address-patching already-translated code. An order of
+	// magnitude below BBTCyclesPerInst (83 software) and three below
+	// SBTCyclesPerInst (880): restoring skips decode, cracking and the
+	// optimizer entirely.
+	RestoreCyclesPerInst float64
+
+	// RestoreFaultCycles is the fixed per-translation surcharge of a
+	// lazy fault-in: the dispatch miss trapping into the VMM's restore
+	// handler and finding the snapshot record. Eager preloading during
+	// Restore pays only the bulk per-instruction cost.
+	RestoreFaultCycles float64
+
+	// WarmEagerFraction is the fraction (0..1] of snapshot translations
+	// the hybrid mode preloads eagerly, hottest first by saved
+	// retirement count.
+	WarmEagerFraction float64
+}
+
+// WarmStart enumerates the persistent-translation warm-start modes
+// (Config.WarmStart).
+type WarmStart uint8
+
+const (
+	// WarmOff disables warm start: every translation is built cold.
+	WarmOff WarmStart = iota
+	// WarmLazy restores translations on first dispatch miss only.
+	WarmLazy
+	// WarmHybrid eagerly preloads the hottest WarmEagerFraction of the
+	// snapshot at Restore, then faults in the tail lazily.
+	WarmHybrid
+	// WarmEager materializes the whole snapshot at Restore.
+	WarmEager
+)
+
+var warmStartNames = [...]string{"off", "lazy", "hybrid", "eager"}
+
+func (w WarmStart) String() string {
+	if int(w) < len(warmStartNames) {
+		return warmStartNames[w]
+	}
+	return fmt.Sprintf("WarmStart(%d)", uint8(w))
+}
+
+// ParseWarmStart resolves a mode name ("off", "lazy", "hybrid",
+// "eager") to its WarmStart value.
+func ParseWarmStart(s string) (WarmStart, error) {
+	for i, name := range warmStartNames {
+		if s == name {
+			return WarmStart(i), nil
+		}
+	}
+	return WarmOff, fmt.Errorf("vmm: unknown warm-start mode %q", s)
 }
 
 // DefaultConfig returns the baseline configuration for a strategy, using
@@ -193,6 +265,9 @@ func DefaultConfig(s Strategy) Config {
 		ShadowCap:            DefaultShadowCap,
 		SampleGrowth:         1.25,
 		Pipeline:             true,
+		RestoreCyclesPerInst: 8,
+		RestoreFaultCycles:   200,
+		WarmEagerFraction:    0.25,
 	}
 	cfg.InterpToBBT = 4
 	switch s {
@@ -266,6 +341,13 @@ type Result struct {
 	BBTInstrs    uint64
 	X86Instrs    uint64
 	InterpInstrs uint64
+
+	// Warm-start restore statistics (warm.go): translations
+	// materialized from a persisted snapshot — eager preloads plus lazy
+	// fault-ins — and the static x86 instructions they cover. Zero
+	// unless the run restored a snapshot (VM.Restore).
+	RestoredTranslations uint64
+	RestoredX86          uint64
 
 	// Metrics is the run's observability snapshot (obs.go). It is nil
 	// unless a recorder was attached with SetObserver: uninstrumented

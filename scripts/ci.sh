@@ -2,13 +2,16 @@
 # Tier-1 gate: vet, build, and the full test suite under the race
 # detector (the experiment grid, the run/workload caches, and the
 # per-run execute/timing pipeline are concurrent by default).
+# -timeout 1800s: the experiments package now exceeds go test's 10m
+# default under race instrumentation on 1-CPU hosts (the golden sweep
+# covers eight report harnesses across four host modes).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./...
+go test -race -timeout 1800s ./...
 
 # The pipeline's worker budgeting and ring hand-off must also hold when
 # the producer and consumer are forced to share two OS threads. Scoped
@@ -56,12 +59,39 @@ bbt_bop="$(go test -run '^$' -bench 'BBTTranslateHot' -benchmem -benchtime 100x 
 	awk '/BenchmarkBBTTranslateHot/ {for (i=1; i<NF; i++) if ($(i+1) == "B/op") print $i}')"
 [ -n "$bbt_bop" ]
 [ "$bbt_bop" -le 600 ] || { echo "BBT translate $bbt_bop B/op exceeds 600 B/op ceiling"; exit 1; }
-go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR5.json BENCH_PR6.json
+go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR6.json BENCH_PR7.json
 
-# The golden determinism sweep: all six figure reports byte-identical
-# across threaded/unthreaded dispatch and sequential/pipelined modes,
-# under race instrumentation on two procs (-count=1: GOMAXPROCS is not
-# in the test cache key).
+# Warm-start gate (persistent translation caches; DESIGN.md §10).
+# Four checks:
+#   1. Snapshot integrity: the CCVM2 property/truncation/bit-flip sweep
+#      in codecache plus the store-level corruption-degradation tests —
+#      a damaged snapshot must quarantine to .bad and rebuild, never
+#      feed a VM.
+#   2. Warm-mode determinism: every restore policy byte-identical
+#      across threaded/unthreaded × sequential/pipelined hosts, under
+#      race instrumentation on two procs, including a per-arm snapshot
+#      rebuild of the whole figure.
+#   3. FX!32 persist determinism: Cache.Save is sorted, so the persist
+#      and warmstart reports now ride the golden figure sweep below.
+#   4. Wall-clock: a lazy warm-start sweep iteration must not run more
+#      than 25% slower than the cold iteration it replaces (it should
+#      be faster; the honest A/B minima live in EXPERIMENTS.md).
+go test -race -count=1 -run 'TestPersist|TestSnapshot' ./internal/codecache/
+GOMAXPROCS=2 go test -race -count=1 -timeout 900s -run 'TestWarmModes|TestWarmSnapshot|TestGoldenWarmStartRebuild' \
+	./internal/vmm/ ./internal/experiments/
+warm_tmp="${TMPDIR:-/tmp}/warmsweep.$$"
+WARMSTART_BENCH_MODE=cold go test -run '^$' -bench 'WarmSweep' -benchtime 2x -count 1 . |
+	go run ./scripts/benchjson > "$warm_tmp.cold.json"
+WARMSTART_BENCH_MODE=lazy go test -run '^$' -bench 'WarmSweep' -benchtime 2x -count 1 . |
+	go run ./scripts/benchjson > "$warm_tmp.lazy.json"
+go run ./scripts/benchjson -diff -fail-over 25 "$warm_tmp.cold.json" "$warm_tmp.lazy.json"
+rm -f "$warm_tmp.cold.json" "$warm_tmp.lazy.json"
+
+# The golden determinism sweep: the six figure reports plus the
+# persist and warmstart extension reports, byte-identical across
+# threaded/unthreaded dispatch and sequential/pipelined modes, under
+# race instrumentation on two procs (-count=1: GOMAXPROCS is not in
+# the test cache key).
 GOMAXPROCS=2 go test -race -count=1 -timeout 1800s -run 'TestGoldenReportsAcrossDispatchModes' \
 	./internal/experiments/
 
@@ -102,8 +132,8 @@ curl -fsS "http://$addr/runs" | grep -q '"runs_started"'
 wait "$vmsim_pid"
 rm -rf "$ci_tmp"
 
-# Bench snapshots: the committed BENCH_PR6.json (regenerated by
-# scripts/bench.sh) and the BENCH_PR5.json baseline it is diffed
+# Bench snapshots: the committed BENCH_PR7.json (regenerated by
+# scripts/bench.sh) and the BENCH_PR6.json baseline it is diffed
 # against must stay well-formed bench.v1 JSON.
-go run ./scripts/benchjson -check BENCH_PR5.json
 go run ./scripts/benchjson -check BENCH_PR6.json
+go run ./scripts/benchjson -check BENCH_PR7.json

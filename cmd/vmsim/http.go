@@ -20,6 +20,8 @@ import (
 //	/runs          sweep progress and per-run state, JSON
 //	/healthz       liveness probe
 //	/debug/pprof/  the standard Go profiling endpoints
+//	/jobs…         the async job API, in -exp serve mode only
+//	               (docs/api.md; submissions need the run store)
 //
 // The returned stop function shuts the server down gracefully and
 // reports any serve or shutdown failure, so a server that died
@@ -32,6 +34,9 @@ func startIntrospection(ln net.Listener, o *codesignvm.Observer) (stop func() er
 		"exp":   *expFlag,
 		"scale": fmt.Sprint(*scaleFlag),
 	}))
+	if jobsManager != nil {
+		codesignvm.NewJobAPI(jobsManager, *jobsRate, *jobsBurst).Register(mux)
+	}
 	// net/http/pprof registers only on http.DefaultServeMux; mount its
 	// handlers explicitly so this private mux serves them too.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

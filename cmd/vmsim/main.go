@@ -28,6 +28,11 @@
 //	vmsim -exp sweep -http 127.0.0.1:890     # live introspection server
 //	vmsim -exp sweep -progress 10s           # periodic progress line
 //
+// Job service (async sweep-as-a-service API; see docs/api.md):
+//
+//	vmsim -exp serve -http :8080 -store /var/lib/vmsim/store
+//	curl -d '{"exp":"fig2","scale":200}' http://localhost:8080/jobs
+//
 // Host-side profiling (see README.md):
 //
 //	vmsim -exp sweep -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -55,7 +60,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist warmstart pressure coldstart ctxswitch staged deltasweep dump run sweep all")
+	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist warmstart pressure coldstart ctxswitch staged deltasweep dump run sweep all serve")
 	scaleFlag  = flag.Int("scale", 25, "workload scale divisor (1 = paper-sized)")
 	appsFlag   = flag.String("apps", "", "comma-separated subset of benchmarks (default: all ten)")
 	modelFlag  = flag.String("model", "VM.soft", "machine model for -exp run")
@@ -79,13 +84,24 @@ var (
 	timelineFlag = flag.String("timeline", "", "sample per-run startup timelines and write them to this file on exit (.json: JSON, otherwise CSV); implies -fresh")
 	tlInterval   = flag.Float64("timeline-interval", codesignvm.DefaultTimelineInterval, "initial timeline slice width in simulated cycles")
 	tlSlices     = flag.Int("timeline-slices", codesignvm.DefaultTimelineSlices, "max timeline slices per run (full timelines coalesce, doubling the interval)")
-	httpFlag     = flag.String("http", "", "serve live introspection on this address (/metrics /runs /healthz /debug/pprof)")
+	httpFlag     = flag.String("http", "", "serve live introspection on this address (/metrics /runs /healthz /debug/pprof; -exp serve adds /jobs)")
 	progressFlag = flag.Duration("progress", 0, "print a progress line to stderr at this interval during sweeps (0: disabled; requires a terminal on stderr)")
+
+	jobsWorkers  = flag.Int("jobs-workers", 2, "worker-pool size of the -exp serve job service")
+	jobsQueue    = flag.Int("jobs-queue", 16, "bounded queue depth of the job service (full queue: 429 + Retry-After)")
+	jobsRate     = flag.Float64("jobs-rate", 5, "per-client job submissions per second (0: unlimited)")
+	jobsBurst    = flag.Float64("jobs-burst", 10, "per-client submission burst size")
+	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long -exp serve waits for accepted jobs before cancelling them")
 )
 
 // obsv is the process observer, non-nil when any observability flag is
 // set. All experiment and single runs report into it.
 var obsv *codesignvm.Observer
+
+// jobsManager is the async job service, non-nil in -exp serve mode
+// (created in setupObservability so the /jobs endpoints are mounted
+// when the introspection server starts).
+var jobsManager *codesignvm.JobManager
 
 // runCtx cancels the experiment grid (task pickup and store lock
 // waits) on SIGINT/SIGTERM, so an interrupted sweep exits promptly and
@@ -158,6 +174,28 @@ func validateObsFlags() (files map[string]*os.File, ln net.Listener, err error) 
 			return fail("-progress needs a terminal on stderr (it rewrites a status line); use -http %s for live introspection instead", "ADDR")
 		}
 	}
+	// The job service needs both a front door and the run store: jobs
+	// execute through the store for exactly-once simulation and
+	// duplicate-spec dedupe, so a missing -store must fail here with
+	// one line, not as a 500 at submit time. (Plain -http without
+	// -exp serve stays introspection-only and needs no store.)
+	if *expFlag == "serve" {
+		if *httpFlag == "" || *storeFlag == "" {
+			return fail("-exp serve requires both -http ADDR and -store DIR (jobs execute through the run store; see docs/api.md)")
+		}
+		if *freshFlag {
+			return fail("-exp serve is incompatible with -fresh: bypassing store reads would break the job service's exactly-once dedupe")
+		}
+		if *timelineFlag != "" {
+			return fail("-exp serve is incompatible with -timeline (it implies -fresh); use GET /jobs/{id} for live job progress")
+		}
+		if *jobsWorkers < 1 {
+			return fail("-jobs-workers must be at least 1, got %d", *jobsWorkers)
+		}
+		if *jobsQueue < 1 {
+			return fail("-jobs-queue must be at least 1, got %d", *jobsQueue)
+		}
+	}
 	files = map[string]*os.File{}
 	for _, out := range []struct{ flag, path string }{
 		{"-events", *eventsFlag}, {"-trace", *traceFlag}, {"-timeline", *timelineFlag},
@@ -224,6 +262,22 @@ func setupObservability() (finish func() error, err error) {
 		// (options() honors this); store writes still happen.
 		if !*freshFlag {
 			fmt.Fprintln(os.Stderr, "vmsim: -timeline implies -fresh (only fresh simulations sample a timeline)")
+		}
+	}
+	if *expFlag == "serve" {
+		// The manager must exist before the server starts so the /jobs
+		// endpoints are live from the first request. Jobs derive from
+		// Background, not the signal context: SIGTERM triggers a
+		// graceful drain (serveJobs), not an instant cancellation.
+		jobsManager, err = codesignvm.NewJobManager(codesignvm.JobManagerConfig{
+			Workers:       *jobsWorkers,
+			QueueDepth:    *jobsQueue,
+			Store:         *storeFlag,
+			StoreMaxBytes: *storeMax,
+			Obs:           obsv,
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	stopHTTP := func() error { return nil }
@@ -398,16 +452,14 @@ func options() codesignvm.Options {
 }
 
 func run() error {
-	exps := []string{*expFlag}
-	switch *expFlag {
-	case "all":
-		exps = []string{"table2", "table1", "fig3", "overhead", "threshold", "fig2", "fig8", "fig9", "fig10", "fig11", "ablation", "persist", "warmstart", "pressure", "coldstart", "ctxswitch", "staged", "deltasweep"}
-	case "sweep":
-		// The paper's figures in one process: fig8/fig9/fig11 share
-		// their long-trace runs and fig10's VM.soft run seeds the
-		// ablation-style short traces through the result cache.
-		exps = []string{"fig2", "fig3", "fig8", "fig9", "fig10", "fig11"}
+	if *expFlag == "serve" {
+		return serveJobs()
 	}
+	// "sweep" and "all" expand through the shared registry ("sweep":
+	// the paper's figures in one process — fig8/fig9/fig11 share
+	// their long-trace runs and fig10's VM.soft run seeds the
+	// ablation-style short traces through the result cache).
+	exps := codesignvm.ExpandExperiment(*expFlag)
 	for _, exp := range exps {
 		start := time.Now()
 		if err := runOne(exp); err != nil {
@@ -421,108 +473,6 @@ func run() error {
 func runOne(exp string) error {
 	opt := options()
 	switch exp {
-	case "fig2":
-		rep, err := codesignvm.Figure2(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatStartup(rep, "Fig. 2 — startup: software staged VMs vs reference superscalar\n(normalized aggregate IPC, harmonic mean over benchmarks)"))
-	case "fig3":
-		rep, err := codesignvm.Figure3(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatFig3(rep))
-	case "fig8":
-		rep, err := codesignvm.Figure8(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatStartup(rep, "Fig. 8 — startup with hardware assists\n(normalized aggregate IPC, harmonic mean over benchmarks)"))
-	case "fig9":
-		rep, err := codesignvm.Figure9(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatFig9(rep))
-	case "fig10":
-		rep, err := codesignvm.Figure10(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatFig10(rep))
-	case "fig11":
-		rep, err := codesignvm.Figure11(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatFig11(rep))
-	case "overhead":
-		rep, err := codesignvm.MeasureOverhead(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatOverhead(rep))
-	case "threshold":
-		fmt.Printf("Eq. 2 — hot threshold N = ΔSBT/(p−1)\n")
-		fmt.Printf("BBT-based (ΔSBT=1200, p=1.15):  N = %.0f\n", codesignvm.HotThreshold(1200, 1.15))
-		fmt.Printf("interpreted (ΔSBT=1200, p=48):  N = %.0f\n", codesignvm.HotThreshold(1200, 48))
-	case "ablation":
-		rep, err := codesignvm.OptimizerAblation(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatAblation(rep))
-	case "table1":
-		rep, err := codesignvm.XLTCharacterization(20000, 2006)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatTable1(rep))
-	case "table2":
-		fmt.Print(codesignvm.FormatTable2())
-	case "persist":
-		rep, err := codesignvm.PersistentStartupExperiment(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatPersist(rep))
-	case "warmstart":
-		rep, err := codesignvm.WarmStartExperiment(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatWarmStart(rep))
-	case "pressure":
-		rep, err := codesignvm.CodeCachePressureExperiment(opt, *appFlag, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatPressure(rep))
-	case "staged":
-		rep, err := codesignvm.StagedComparisonExperiment(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatStartup(rep, "Extension — staged-translation strategies\n(normalized aggregate IPC)"))
-	case "deltasweep":
-		rep, err := codesignvm.DeltaBBTSweepExperiment(opt, *appFlag, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatDelta(rep))
-	case "coldstart":
-		rep, err := codesignvm.ColdStartExperiment(opt)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatColdStart(rep))
-	case "ctxswitch":
-		rep, err := codesignvm.ContextSwitchExperiment(opt, *appFlag, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(codesignvm.FormatSwitch(rep))
 	case "dump":
 		m, err := codesignvm.ModelByName(*modelFlag)
 		if err != nil {
@@ -533,10 +483,36 @@ func runOne(exp string) error {
 			return err
 		}
 		fmt.Print(txt)
+		return nil
 	case "run":
 		return runSingle(opt)
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	// Every report experiment dispatches through the shared registry —
+	// the same code path the job service executes, so a report fetched
+	// from GET /jobs/{id}/result is byte-identical to this output.
+	txt, err := codesignvm.RunExperiment(exp, opt, *appFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Print(txt)
+	return nil
+}
+
+// serveJobs is -exp serve: the process becomes a long-running job
+// service. The HTTP server (and the /jobs endpoints) is already up
+// via setupObservability; this just holds the process open until
+// SIGINT/SIGTERM, then drains — accepted jobs complete (bounded by
+// -drain-timeout, after which they are cancelled) before the server
+// shuts down.
+func serveJobs() error {
+	fmt.Fprintf(os.Stderr, "vmsim: job service ready: POST /jobs (workers=%d queue=%d store=%s); SIGINT/SIGTERM drains\n",
+		*jobsWorkers, *jobsQueue, *storeFlag)
+	<-runCtx.Done()
+	fmt.Fprintf(os.Stderr, "vmsim: draining job service (up to %v)\n", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := jobsManager.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w (running jobs were cancelled)", err)
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 
 	"codesignvm/internal/codecache"
 	"codesignvm/internal/experiments"
+	"codesignvm/internal/jobs"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/metrics"
 	"codesignvm/internal/model"
@@ -395,6 +396,58 @@ func StagedComparisonExperiment(opt Options) (*StartupCurves, error) {
 func DeltaBBTSweepExperiment(opt Options, app string, deltas []float64) (*experiments.DeltaReport, error) {
 	return experiments.DeltaBBTSweep(opt, app, deltas)
 }
+
+// Named experiment registry: the dispatch table shared by cmd/vmsim's
+// -exp flag and the async job service, so both produce byte-identical
+// reports for the same request.
+
+// ExperimentNames lists every report experiment runnable by name.
+func ExperimentNames() []string { return experiments.ExperimentNames() }
+
+// ExpandExperiment resolves the composites: "sweep" → the six paper
+// figures, "all" → every report experiment; other names pass through.
+func ExpandExperiment(name string) []string { return experiments.ExpandExperiment(name) }
+
+// RunExperiment executes one named report experiment and returns its
+// formatted report text — exactly what vmsim prints for the same
+// flags. app parameterizes the app-scoped extension experiments
+// (pressure, ctxswitch, deltasweep); empty selects "Word".
+func RunExperiment(name string, opt Options, app string) (string, error) {
+	return experiments.RunExperiment(name, opt, app)
+}
+
+// Async job service (internal/jobs; HTTP reference in docs/api.md).
+
+type (
+	// JobSpec is one submitted workload: experiment name plus grid
+	// parameters (apps, scale, budget, hot threshold).
+	JobSpec = jobs.Spec
+	// JobState is a job's lifecycle state (queued, running, done,
+	// failed, cancelled).
+	JobState = jobs.State
+	// Job is one submitted workload moving through the manager.
+	Job = jobs.Job
+	// JobStatus is a job's externally visible snapshot (the
+	// GET /jobs/{id} response body).
+	JobStatus = jobs.Status
+	// JobManager owns the job table, bounded queue and worker pool.
+	JobManager = jobs.Manager
+	// JobManagerConfig parameterizes NewJobManager.
+	JobManagerConfig = jobs.Config
+	// JobAPI serves the /jobs HTTP endpoints over a manager.
+	JobAPI = jobs.API
+)
+
+// NewJobManager starts an async job manager: jobs execute the named
+// experiments through the crash-safe run store (exactly-once
+// simulation, duplicate-spec dedupe). The worker pool is live on
+// return; stop it with Manager.Drain.
+func NewJobManager(cfg JobManagerConfig) (*JobManager, error) { return jobs.NewManager(cfg) }
+
+// NewJobAPI wraps a job manager with the HTTP surface (POST/GET/DELETE
+// /jobs…; docs/api.md). rate/burst configure per-client submission
+// token buckets; mount it with Register on the introspection mux.
+func NewJobAPI(m *JobManager, rate, burst float64) *JobAPI { return jobs.NewAPI(m, rate, burst) }
 
 // Report formatters (text tables matching the paper's presentation).
 var (

@@ -1,9 +1,3 @@
-// Package codecache implements the concealed-memory code caches of the
-// co-designed VM: allocation of translated code in a hidden region of
-// main memory, the translation lookup table mapping architected PCs to
-// translations, translation chaining (direct linking of exits to target
-// translations, replacing dispatch through the lookup table), and
-// capacity management with flush-style eviction.
 package codecache
 
 import (

@@ -1,0 +1,223 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"codesignvm/internal/obs"
+)
+
+// API serves the job endpoints over a Manager (docs/api.md is the
+// full reference, with curl examples and the error contract):
+//
+//	POST   /jobs             submit a spec        → 201 (200 on dedupe)
+//	GET    /jobs             list jobs + capacity → 200
+//	GET    /jobs/{id}        status + progress    → 200
+//	GET    /jobs/{id}/result the report           → 200 (202 while pending)
+//	DELETE /jobs/{id}        cancel               → 200
+//
+// Submissions are throttled by a per-client-IP token bucket and
+// rejected with 429 + Retry-After under rate or queue pressure, 503
+// while draining. Mount it on the introspection mux with Register.
+type API struct {
+	m     *Manager
+	limit *RateLimiter
+}
+
+// NewAPI wraps a manager with the HTTP surface. rate/burst configure
+// the per-client submission token buckets (rate <= 0 disables
+// throttling).
+func NewAPI(m *Manager, rate, burst float64) *API {
+	return &API{m: m, limit: NewRateLimiter(rate, burst)}
+}
+
+// Register mounts the /jobs endpoints on mux (alongside the existing
+// /metrics, /runs and /healthz introspection handlers).
+func (a *API) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/jobs", a.handleCollection)
+	mux.HandleFunc("/jobs/", a.handleJob)
+}
+
+// maxSpecBytes bounds the POST /jobs body; specs are small.
+const maxSpecBytes = 1 << 20
+
+// errorBody is every non-2xx JSON response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientKey identifies the submitting client for rate limiting: the
+// remote IP (without port), so one host's burst cannot starve others.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterHeader renders a Retry-After value in whole seconds
+// (minimum 1 — zero would invite an immediate retry storm).
+func retryAfterHeader(d time.Duration) string {
+	secs := int(d / time.Second)
+	if d%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}
+
+func (a *API) handleCollection(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		a.submit(w, r)
+	case http.MethodGet:
+		a.list(w)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /jobs", r.Method)
+	}
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	client := clientKey(r)
+	if ok, retry := a.limit.Allow(client); !ok {
+		if o := a.m.obsv; o != nil {
+			o.Proc.Counter("jobs.rejected.rate", "jobs").Inc()
+			o.Emit(obs.EvJobReject, client, 0, 0, 0, 0)
+		}
+		w.Header().Set("Retry-After", retryAfterHeader(retry))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded; retry after %s", w.Header().Get("Retry-After")+"s")
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	j, existing, err := a.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v (depth %d); retry after 1s", err, cap(a.m.queue))
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+j.ID())
+	code := http.StatusCreated
+	if existing {
+		code = http.StatusOK // idempotent resubmission of an active spec
+	}
+	writeJSON(w, code, j.Status(false))
+}
+
+// listBody is the GET /jobs response shape.
+type listBody struct {
+	Workers    int      `json:"workers"`
+	QueueDepth int      `json:"queue_depth"`
+	Draining   bool     `json:"draining"`
+	Jobs       []Status `json:"jobs"`
+}
+
+func (a *API) list(w http.ResponseWriter) {
+	jobs := a.m.List()
+	body := listBody{
+		Workers:    a.m.Workers(),
+		QueueDepth: a.m.QueueDepth(),
+		Draining:   a.m.Draining(),
+		Jobs:       make([]Status, 0, len(jobs)),
+	}
+	for _, j := range jobs {
+		body.Jobs = append(body.Jobs, j.Status(false))
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (a *API) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := a.m.Get(id)
+	if !ok || id == "" {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.Status(true))
+	case sub == "" && r.Method == http.MethodDelete:
+		a.cancel(w, j)
+	case sub == "result" && r.Method == http.MethodGet:
+		a.result(w, r, j)
+	case sub == "" || sub == "result":
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	default:
+		writeError(w, http.StatusNotFound, "unknown resource %q", r.URL.Path)
+	}
+}
+
+func (a *API) cancel(w http.ResponseWriter, j *Job) {
+	switch err := a.m.Cancel(j.ID()); {
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, "job %s already %v", j.ID(), j.State())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, j.Status(false))
+	}
+}
+
+// resultBody is the GET /jobs/{id}/result?format=json envelope.
+type resultBody struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	State  State  `json:"state"`
+	Report string `json:"report"`
+}
+
+func (a *API) result(w http.ResponseWriter, r *http.Request, j *Job) {
+	report, errText, state := j.Result()
+	switch state {
+	case StateQueued, StateRunning:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, j.Status(false))
+	case StateCancelled:
+		writeError(w, http.StatusGone, "job %s cancelled: %s", j.ID(), errText)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", j.ID(), errText)
+	case StateDone:
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, resultBody{ID: j.ID(), Spec: j.Spec(), State: state, Report: report})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.Copy(w, strings.NewReader(report))
+	}
+}

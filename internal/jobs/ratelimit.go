@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-client token-bucket limiter for job
+// submissions: each client key (the API uses the client IP) gets a
+// bucket of burst tokens refilled at rate tokens/second. Buckets are
+// created on first use and pruned once full again, so the table stays
+// bounded by the set of concurrently throttled clients.
+type RateLimiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test seam
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter allowing rate submissions/second
+// with bursts of burst. rate <= 0 disables limiting (Allow always
+// succeeds); burst < 1 is clamped to 1.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{rate: rate, burst: burst, buckets: map[string]*bucket{}, now: time.Now}
+}
+
+// Allow consumes one token from key's bucket. When the bucket is
+// empty it reports false plus the wait until the next token — the
+// HTTP layer turns that into 429 + Retry-After.
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.pruneLocked(now)
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// pruneLocked drops buckets that have refilled to full — clients no
+// longer exerting pressure — bounding the table. Called only on the
+// reject path, so steady-state accepts never pay for it.
+func (l *RateLimiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package machine assembles the simulated machine configurations of
+// Table 2 and provides the uniform run API used by experiments:
+//
+//   - Ref: superscalar — conventional processor with hardware x86
+//     decoders and no translation;
+//   - VM.soft — co-designed VM with software-only BBT and SBT;
+//   - VM.be — VM with the XLTx86 backend functional unit;
+//   - VM.fe — VM with dual-mode frontend decoders;
+//   - VM.interp — the interpretation-based staged VM of Fig. 2;
+//   - VM.3stage — the three-stage (interpret→BBT→SBT) extension of
+//     DESIGN.md, beyond the paper.
+//
+// All configurations share the Table 2 pipeline and memory system; the
+// x86-decoding machines (Ref, VM.fe in x86-mode) have a two-stage-longer
+// frontend, reflected in their misprediction penalty.
+//
+// This package is the assembly point of the layer diagram in
+// docs/ARCHITECTURE.md: it wires a workload program, a machine model's
+// cost parameters, the internal/vmm monitor and the internal/timing
+// pipeline into one Run call, and every experiment harness
+// (internal/experiments) and the public facade reach the simulator
+// only through it. A Model is cheap and stateless — per-run state
+// lives in the VM instance Run creates — so concurrent runs of the
+// same model are safe and the experiment grid exploits that.
+//
+// The differences between models are *cost models*, not semantics:
+// every configuration executes the same architected program through
+// the same cracker and retires the same instruction stream, which is
+// what makes cross-model startup comparisons (Figs. 2 and 8) meaningful
+// and lets differential tests pin all models against the interpreter.
+package machine

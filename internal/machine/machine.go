@@ -1,16 +1,3 @@
-// Package machine assembles the simulated machine configurations of
-// Table 2 and provides the uniform run API used by experiments:
-//
-//   - Ref: superscalar — conventional processor with hardware x86
-//     decoders and no translation;
-//   - VM.soft — co-designed VM with software-only BBT and SBT;
-//   - VM.be — VM with the XLTx86 backend functional unit;
-//   - VM.fe — VM with dual-mode frontend decoders;
-//   - VM.interp — the interpretation-based staged VM of Fig. 2.
-//
-// All configurations share the Table 2 pipeline and memory system; the
-// x86-decoding machines (Ref, VM.fe in x86-mode) have a two-stage-longer
-// frontend, reflected in their misprediction penalty.
 package machine
 
 import (

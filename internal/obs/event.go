@@ -78,6 +78,24 @@ const (
 	// materializing a snapshot translation instead of translating cold:
 	// pc = entry, a = x86 instructions, b = encoded bytes.
 	EvRestoreFault
+	// EvJobSubmit is one async job accepted by the job service
+	// (internal/jobs): tag = "id exp", a = queue depth after enqueue.
+	EvJobSubmit
+	// EvJobStart is a queued job picked up by a worker: tag = "id exp",
+	// a = queue depth after dequeue.
+	EvJobStart
+	// EvJobDone closes one job: tag = "id exp", a = terminal state
+	// (0 done, 1 failed, 2 cancelled), b = result bytes, c = execution
+	// wall time in ns.
+	EvJobDone
+	// EvJobReject is a submission refused before enqueue: tag = the
+	// throttled client key (rate rejects) or the reject reason name,
+	// a = reason (0 rate-limited, 1 queue full, 2 draining).
+	EvJobReject
+	// EvJobCancel is a cancellation request taking effect: tag =
+	// "id exp", a = the job's state when cancelled (0 queued,
+	// 1 running).
+	EvJobCancel
 	NumEventKinds
 )
 
@@ -103,6 +121,11 @@ var kindInfo = [NumEventKinds]struct {
 	EvStoreGC:      {"store-gc", "", "debris", "evicted", ""},
 	EvRestore:      {"restore", "", "entries", "preloaded", "x86"},
 	EvRestoreFault: {"restore-fault", "pc", "x86", "bytes", ""},
+	EvJobSubmit:    {"job-submit", "", "queued", "", ""},
+	EvJobStart:     {"job-start", "", "queued", "", ""},
+	EvJobDone:      {"job-done", "", "state", "bytes", "wall_ns"},
+	EvJobReject:    {"job-reject", "", "reason", "", ""},
+	EvJobCancel:    {"job-cancel", "", "state", "", ""},
 }
 
 func (k EventKind) String() string {

@@ -1,17 +1,17 @@
 #!/usr/bin/env sh
 # Tier-1 micro-benchmark snapshot: runs the hot-path benchmarks the CI
 # smoke-tests at 1x (end-to-end Fig. 2, the warm-start sweep, BBT
-# translation, the dispatch loop, and the observability modes) at real
-# benchtime, and records the results as BENCH_PR7.json (schema
-# bench.v1, with host metadata) via scripts/benchjson. Compare
-# snapshots across PRs to catch hot-path regressions; scripts/ci.sh
-# validates the committed file's shape.
+# translation, the dispatch loop, the observability modes, and the
+# job-service submission envelope) at real benchtime, and records the
+# results as BENCH_PR8.json (schema bench.v1, with host metadata) via
+# scripts/benchjson. Compare snapshots across PRs to catch hot-path
+# regressions; scripts/ci.sh validates the committed file's shape.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -19,6 +19,7 @@ trap 'rm -f "$tmp"' EXIT
 	go test -run '^$' -bench 'Fig2|WarmSweep' -benchmem -benchtime 2x -count 1 .
 	go test -run '^$' -bench 'DispatchHot|ObsModes' -benchmem -benchtime 200ms -count 1 ./internal/vmm/
 	go test -run '^$' -bench 'BBTTranslate' -benchmem -benchtime 200ms -count 1 ./internal/bbt/
+	go test -run '^$' -bench 'JobSubmission' -benchmem -benchtime 200ms -count 1 ./internal/jobs/
 } | tee "$tmp"
 
 go run ./scripts/benchjson < "$tmp" > "$out"

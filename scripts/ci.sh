@@ -50,8 +50,8 @@ go test -run '^$' -bench 'Fig2' -benchtime=1x .
 #   2. BBT translation must stay within its recorded byte ceiling per
 #      op (scratch-and-commit leaves only the arena's amortized slab
 #      growth; the ceiling has ~3x headroom over the recorded value).
-#   3. The committed BENCH_PR6.json must not have regressed ns/op by
-#      more than 50% against any same-named benchmark in BENCH_PR5.json
+#   3. The committed BENCH_PR8.json must not have regressed ns/op by
+#      more than 50% against any same-named benchmark in BENCH_PR7.json
 #      (generous threshold: wall-clock on shared CI hosts is noisy;
 #      the A/B minima in EXPERIMENTS.md are the precise record).
 go test -race -count=1 -run 'ZeroAlloc' ./internal/vmm/
@@ -59,7 +59,7 @@ bbt_bop="$(go test -run '^$' -bench 'BBTTranslateHot' -benchmem -benchtime 100x 
 	awk '/BenchmarkBBTTranslateHot/ {for (i=1; i<NF; i++) if ($(i+1) == "B/op") print $i}')"
 [ -n "$bbt_bop" ]
 [ "$bbt_bop" -le 600 ] || { echo "BBT translate $bbt_bop B/op exceeds 600 B/op ceiling"; exit 1; }
-go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR6.json BENCH_PR7.json
+go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR7.json BENCH_PR8.json
 
 # Warm-start gate (persistent translation caches; DESIGN.md §10).
 # Four checks:
@@ -130,10 +130,50 @@ curl -fsS "http://$addr/healthz" | grep -q '^ok$'
 curl -fsS "http://$addr/metrics" | grep -q '^# EOF'
 curl -fsS "http://$addr/runs" | grep -q '"runs_started"'
 wait "$vmsim_pid"
+
+# Job-service smoke (docs/api.md): boot -exp serve against a fresh run
+# store, go through the whole client lifecycle over live HTTP — submit,
+# poll to completion, stream the result — then diff the streamed report
+# against the CLI's stdout for the same spec with the wall-clock
+# "[… completed in …]" progress lines stripped: the byte-identity
+# contract, checked end to end on a real server. Unit-test coverage of
+# the same flow is in internal/jobs; this proves the vmsim wiring
+# (flags, signal-driven drain, shared mux) works from outside.
+mkdir -p "$ci_tmp/store"
+"$ci_tmp/vmsim" -exp serve -http 127.0.0.1:0 -store "$ci_tmp/store" \
+	>"$ci_tmp/serve.out.log" 2>"$ci_tmp/serve.err.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+	addr="$(sed -n 's#.*introspection server on http://##p' "$ci_tmp/serve.err.log" | head -1)"
+	[ -n "$addr" ] && break
+	sleep 0.2
+done
+[ -n "$addr" ] || { cat "$ci_tmp/serve.err.log"; exit 1; }
+spec='{"exp":"fig2","scale":500,"apps":["Word"],"instrs":200000}'
+job_id="$(curl -fsS -X POST "http://$addr/jobs" -d "$spec" |
+	grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4)"
+[ -n "$job_id" ] || { echo "job submission returned no id"; exit 1; }
+state=""
+for _ in $(seq 1 300); do
+	state="$(curl -fsS "http://$addr/jobs/$job_id" |
+		grep -o '"state": "[^"]*"' | head -1 | cut -d'"' -f4)"
+	case "$state" in done|failed|cancelled) break ;; esac
+	sleep 0.2
+done
+[ "$state" = done ] || { echo "job $job_id ended in state '$state'"; curl -fsS "http://$addr/jobs/$job_id"; exit 1; }
+curl -fsS "http://$addr/jobs/$job_id/result" > "$ci_tmp/job.txt"
+"$ci_tmp/vmsim" -exp fig2 -scale 500 -apps Word -instrs 200000 2>/dev/null |
+	sed '/^\[.* completed in .*\]$/d' > "$ci_tmp/cli.txt"
+diff "$ci_tmp/job.txt" "$ci_tmp/cli.txt"
+curl -fsS "http://$addr/metrics" | grep -q '^codesignvm_jobs_done_total 1'
+# SIGTERM must drain gracefully (exit 0), not kill accepted work.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
 rm -rf "$ci_tmp"
 
-# Bench snapshots: the committed BENCH_PR7.json (regenerated by
-# scripts/bench.sh) and the BENCH_PR6.json baseline it is diffed
+# Bench snapshots: the committed BENCH_PR8.json (regenerated by
+# scripts/bench.sh) and the BENCH_PR7.json baseline it is diffed
 # against must stay well-formed bench.v1 JSON.
-go run ./scripts/benchjson -check BENCH_PR6.json
 go run ./scripts/benchjson -check BENCH_PR7.json
+go run ./scripts/benchjson -check BENCH_PR8.json

@@ -14,6 +14,12 @@
 // figures (2, 3, 8–11) in one process so they share simulation
 // results; "all" adds the extension experiments.
 //
+// Cycle attribution (see OBSERVABILITY.md):
+//
+//	vmsim -exp phases                    # startup decomposed by category
+//	vmsim -exp run -flamegraph out.folded
+//	vmsim -exp phases -flamegraph out.folded
+//
 // Warm start (persistent translation caches; see DESIGN.md §10):
 //
 //	vmsim -exp warmstart                 # cold vs lazy/hybrid/eager figure
@@ -51,6 +57,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -60,7 +67,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist warmstart pressure coldstart ctxswitch staged deltasweep dump run sweep all serve")
+	expFlag    = flag.String("exp", "fig8", "experiment: fig2 fig3 fig8 fig9 fig10 fig11 overhead threshold ablation table1 table2 persist warmstart pressure coldstart ctxswitch staged deltasweep phases dump run sweep all serve")
 	scaleFlag  = flag.Int("scale", 25, "workload scale divisor (1 = paper-sized)")
 	appsFlag   = flag.String("apps", "", "comma-separated subset of benchmarks (default: all ten)")
 	modelFlag  = flag.String("model", "VM.soft", "machine model for -exp run")
@@ -84,6 +91,7 @@ var (
 	timelineFlag = flag.String("timeline", "", "sample per-run startup timelines and write them to this file on exit (.json: JSON, otherwise CSV); implies -fresh")
 	tlInterval   = flag.Float64("timeline-interval", codesignvm.DefaultTimelineInterval, "initial timeline slice width in simulated cycles")
 	tlSlices     = flag.Int("timeline-slices", codesignvm.DefaultTimelineSlices, "max timeline slices per run (full timelines coalesce, doubling the interval)")
+	flameFlag    = flag.String("flamegraph", "", "write a collapsed-stack cycle-attribution profile (category;region count) merged over every simulated run to this file on exit; enables attribution on all runs")
 	httpFlag     = flag.String("http", "", "serve live introspection on this address (/metrics /runs /healthz /debug/pprof; -exp serve adds /jobs)")
 	progressFlag = flag.Duration("progress", 0, "print a progress line to stderr at this interval during sweeps (0: disabled; requires a terminal on stderr)")
 
@@ -199,6 +207,7 @@ func validateObsFlags() (files map[string]*os.File, ln net.Listener, err error) 
 	files = map[string]*os.File{}
 	for _, out := range []struct{ flag, path string }{
 		{"-events", *eventsFlag}, {"-trace", *traceFlag}, {"-timeline", *timelineFlag},
+		{"-flamegraph", *flameFlag},
 	} {
 		if out.path == "" {
 			continue
@@ -252,6 +261,15 @@ func setupObservability() (finish func() error, err error) {
 		sink = sinks
 	}
 	obsv = codesignvm.NewObserver(sink)
+	if *flameFlag != "" {
+		// Attribution milestones follow the effective instruction budget,
+		// matching the options() / withDefaults derivation.
+		budget := *instrsFlag
+		if budget == 0 && *scaleFlag > 0 {
+			budget = 500_000_000 / uint64(*scaleFlag)
+		}
+		obsv.EnableAttrib(codesignvm.DefaultAttribSpec(budget))
+	}
 	if *timelineFlag != "" {
 		obsv.EnableTimeline(codesignvm.TimelineSpec{
 			IntervalCycles: *tlInterval,
@@ -324,6 +342,30 @@ func setupObservability() (finish func() error, err error) {
 				keep(codesignvm.WriteTimelinesCSV(f, runs))
 			}
 			fmt.Fprintf(os.Stderr, "vmsim: wrote %d run timelines to %s\n", len(runs), *timelineFlag)
+			keep(f.Close())
+		}
+		if f := files["-flamegraph"]; f != nil {
+			// Merge in tag order, not run-completion order, so the merged
+			// counts do not depend on pool scheduling. Cache and store
+			// hits mint no recorder, so only freshly simulated runs
+			// contribute (use -fresh for a complete profile).
+			type tagged struct {
+				tag  string
+				snap *codesignvm.AttribSnapshot
+			}
+			var snaps []tagged
+			for _, r := range obsv.Runs() {
+				if s := r.AttribSnapshot(); s != nil {
+					snaps = append(snaps, tagged{r.Tag(), s})
+				}
+			}
+			sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].tag < snaps[j].tag })
+			ordered := make([]*codesignvm.AttribSnapshot, len(snaps))
+			for i, t := range snaps {
+				ordered[i] = t.snap
+			}
+			keep(codesignvm.MergeAttrib(ordered...).WriteCollapsed(f))
+			fmt.Fprintf(os.Stderr, "vmsim: wrote collapsed-stack attribution of %d runs to %s\n", len(snaps), *flameFlag)
 			keep(f.Close())
 		}
 		keep(stopHTTP())
@@ -576,9 +618,17 @@ func runSingle(opt codesignvm.Options) error {
 	fmt.Printf("steady-state IPC (tail): %.3f   hotspot coverage: %.1f%%\n",
 		codesignvm.SteadyIPC(res.Samples, 0.5), 100*res.HotspotCoverage())
 	fmt.Printf("cycle breakdown:\n")
-	for c := codesignvm.Category(0); c < 7; c++ {
+	for c := codesignvm.Category(0); c < codesignvm.NumCategories; c++ {
 		if res.Cat[c] > 0 {
 			fmt.Printf("  %-10v %14.4g  (%.1f%%)\n", c, res.Cat[c], 100*res.Cat[c]/res.Cycles)
+		}
+	}
+	if a := res.Attrib; a != nil {
+		fmt.Printf("cycle attribution (per-category sum is exact):\n")
+		for c := codesignvm.AttribCategory(0); c < codesignvm.NumAttribCategories; c++ {
+			if a.Cat[c] > 0 {
+				fmt.Printf("  %-16v %14.4g  (%.1f%%)\n", c, a.Cat[c], 100*a.Cat[c]/a.TotalCycles)
+			}
 		}
 	}
 	fmt.Printf("translations: %d BBT (%d instrs), %d SBT (%d instrs), %d callouts\n",

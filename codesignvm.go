@@ -45,6 +45,7 @@ import (
 	"codesignvm/internal/metrics"
 	"codesignvm/internal/model"
 	"codesignvm/internal/obs"
+	"codesignvm/internal/obs/attrib"
 	"codesignvm/internal/vmm"
 	"codesignvm/internal/workload"
 	"codesignvm/internal/x86"
@@ -99,6 +100,8 @@ const (
 	CatX86Emu   = vmm.CatX86Emu
 	CatInterp   = vmm.CatInterp
 	CatVMM      = vmm.CatVMM
+	// NumCategories is the size of the Fig. 10 category set.
+	NumCategories = vmm.NumCategories
 )
 
 // Startup scenarios (§3.1).
@@ -282,6 +285,45 @@ func RunConfigWarm(cfg Config, prog *Program, maxInstrs uint64, rec *Recorder, s
 	return machine.RunConfigWarm(cfg, prog, maxInstrs, rec, snap)
 }
 
+// Cycle attribution (internal/obs/attrib; see OBSERVABILITY.md).
+
+type (
+	// AttribSpec parameterizes cycle attribution: the x86 region
+	// bucketing and the instruction milestones of the phase breakdown
+	// (Observer.EnableAttrib).
+	AttribSpec = attrib.Spec
+	// AttribCategory is one bucket of the attribution taxonomy
+	// (interpret, bbt-translate, …, bpred-stall).
+	AttribCategory = attrib.Category
+	// AttribSnapshot is one run's immutable attribution result; the
+	// per-category cycles sum exactly to the run's simulated total
+	// (Result.Attrib).
+	AttribSnapshot = attrib.Snapshot
+	// AttribPhase is one cumulative milestone row of a snapshot.
+	AttribPhase = attrib.Phase
+	// AttribRegion is one non-empty x86 region of a snapshot.
+	AttribRegion = attrib.RegionCycles
+)
+
+// NumAttribCategories is the size of the attribution taxonomy.
+const NumAttribCategories = attrib.NumCategories
+
+// ParseAttribCategory resolves an attribution category by name
+// ("interpret", "bbt-translate", …).
+func ParseAttribCategory(s string) (AttribCategory, bool) { return attrib.ParseCategory(s) }
+
+// MergeAttrib merges attribution snapshots of the same spec (summing
+// categories, regions and phase rows); pass runs in a fixed order for
+// deterministic floating-point accumulation.
+func MergeAttrib(snaps ...*AttribSnapshot) *AttribSnapshot { return attrib.Merge(snaps...) }
+
+// DefaultAttribSpec returns the attribution spec the phases figure
+// uses: workload code-segment regions and milestones at fixed
+// fractions of the given instruction budget.
+func DefaultAttribSpec(longInstrs uint64) AttribSpec {
+	return experiments.DefaultAttribSpec(longInstrs)
+}
+
 // Startup-curve analysis helpers.
 
 // SteadyIPC estimates steady-state IPC from the tail of a run.
@@ -359,6 +401,16 @@ type WarmStartCurves = experiments.WarmStartCurves
 // vs lazy/hybrid/eager persistent-cache restore vs Ref (DESIGN.md §10).
 func WarmStartExperiment(opt Options) (*WarmStartCurves, error) {
 	return experiments.WarmStartFig(opt)
+}
+
+// PhasesCurves is the phase-attribution figure's report type.
+type PhasesCurves = experiments.PhasesCurves
+
+// PhasesExperiment runs the phase-attribution figure: the startup
+// transient of cold vs warm-started VM.soft decomposed by attribution
+// category at each instruction milestone (OBSERVABILITY.md).
+func PhasesExperiment(opt Options) (*PhasesCurves, error) {
+	return experiments.PhasesFig(opt)
 }
 
 // CodeCachePressureExperiment sweeps code-cache capacities (extension
@@ -466,6 +518,7 @@ var (
 	FormatColdStart = experiments.FormatColdStart
 	FormatSwitch    = experiments.FormatSwitch
 	FormatDelta     = experiments.FormatDelta
+	FormatPhases    = experiments.FormatPhases
 )
 
 // Low-level access for tooling: the architected ISA package types needed

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"codesignvm/internal/obs/attrib"
+)
+
+// TestDefaultAttribSpec pins the milestone derivation: ascending,
+// deduplicated, ending at the full budget, regions over the workload
+// code base.
+func TestDefaultAttribSpec(t *testing.T) {
+	s := DefaultAttribSpec(600_000)
+	if s.RegionBase != 0x00400000 {
+		t.Errorf("RegionBase = %#x, want the workload code base", s.RegionBase)
+	}
+	if len(s.Milestones) == 0 || s.Milestones[len(s.Milestones)-1] != 600_000 {
+		t.Fatalf("milestones %v must end at the budget", s.Milestones)
+	}
+	for i := 1; i < len(s.Milestones); i++ {
+		if s.Milestones[i] <= s.Milestones[i-1] {
+			t.Fatalf("milestones %v not strictly ascending", s.Milestones)
+		}
+	}
+	// A tiny budget must not produce zero or duplicate milestones.
+	tiny := DefaultAttribSpec(50)
+	for i, m := range tiny.Milestones {
+		if m == 0 || (i > 0 && m <= tiny.Milestones[i-1]) {
+			t.Fatalf("tiny-budget milestones %v malformed", tiny.Milestones)
+		}
+	}
+}
+
+// TestGoldenPhasesAcrossHostModes is the phases figure's determinism
+// contract: the report — shares, milestones, every digit — must be
+// byte-identical across the four host execution modes (threaded ×
+// pipelined), with the in-process caches cleared so every mode
+// simulates for itself. The profiler is consumer-owned state, so this
+// exercises the whole attribution chain under both dispatch paths.
+func TestGoldenPhasesAcrossHostModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(2)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+	arms := []struct {
+		name               string
+		noThreaded, noPipe bool
+	}{
+		{"unthreaded-sequential", true, true}, // golden arm
+		{"threaded-sequential", false, true},
+		{"unthreaded-pipelined", true, false},
+		{"threaded-pipelined", false, false},
+	}
+	var golden string
+	for i, arm := range arms {
+		resetSnapCacheForTest()
+		resetRunCacheForTest()
+		o := detOpt()
+		o.Apps = []string{"Word", "Winzip"}
+		o.Sequential = true
+		o.NoThreadedDispatch = arm.noThreaded
+		o.NoPipeline = arm.noPipe
+		r, err := PhasesFig(o)
+		if err != nil {
+			t.Fatalf("%s: %v", arm.name, err)
+		}
+		got := FormatPhases(r)
+		if i == 0 {
+			golden = got
+			continue
+		}
+		if got != golden {
+			t.Errorf("%s report differs from %s\n--- %s ---\n%s--- %s ---\n%s",
+				arm.name, arms[0].name, arms[0].name, golden, arm.name, got)
+		}
+	}
+}
+
+// TestPhasesFigInvariants checks the figure's semantic contract on one
+// run: every arm present, every per-app result carrying a snapshot
+// whose categories sum exactly to the run total, and warm arms
+// cheaper than cold overall.
+func TestPhasesFigInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	resetSnapCacheForTest()
+	resetRunCacheForTest()
+	o := detOpt()
+	o.Apps = []string{"Word"}
+	r, err := PhasesFig(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Arms) != 4 || r.Arms[0] != "cold" {
+		t.Fatalf("arms = %v", r.Arms)
+	}
+	for _, arm := range r.Arms {
+		res := r.Result("Word", arm)
+		if res == nil || res.Attrib == nil {
+			t.Fatalf("arm %s: missing result or attribution", arm)
+		}
+		sum := 0.0
+		for _, v := range res.Attrib.Cat {
+			sum += v
+		}
+		if sum != res.Cycles {
+			t.Errorf("arm %s: category sum %v != cycles %v", arm, sum, res.Cycles)
+		}
+		m := r.Merged[arm]
+		if m == nil || len(m.Phases) == 0 {
+			t.Fatalf("arm %s: merged snapshot missing or phase-less", arm)
+		}
+	}
+	if cold, eager := r.Merged["cold"], r.Merged["eager"]; eager.TotalCycles >= cold.TotalCycles {
+		t.Errorf("eager warm start (%v cycles) not cheaper than cold (%v)", eager.TotalCycles, cold.TotalCycles)
+	}
+	if r.Flame() != r.Merged["cold"] {
+		t.Error("Flame() must be the cold arm's merged snapshot")
+	}
+	txt := FormatPhases(r)
+	if !strings.Contains(txt, "arm cold:") || !strings.Contains(txt, attrib.BBTTranslate.String()) {
+		t.Errorf("FormatPhases output missing expected sections:\n%s", txt)
+	}
+}

@@ -29,6 +29,9 @@ var expNames = []string{
 	"fig2", "fig8", "fig9", "fig10", "fig11",
 	"ablation", "persist", "warmstart", "pressure",
 	"coldstart", "ctxswitch", "staged", "deltasweep",
+	// "phases" is last: it enables attribution on the shared observer,
+	// which shifts the cache identity of every later run (see PhasesFig).
+	"phases",
 }
 
 // sweepNames is the "sweep" composite: the paper's figures in one
@@ -183,6 +186,12 @@ func RunExperiment(name string, opt Options, app string) (string, error) {
 			return "", err
 		}
 		return FormatDelta(rep), nil
+	case "phases":
+		rep, err := PhasesFig(opt)
+		if err != nil {
+			return "", err
+		}
+		return FormatPhases(rep), nil
 	}
 	return "", fmt.Errorf("unknown experiment %q", name)
 }

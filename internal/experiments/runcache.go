@@ -22,13 +22,21 @@ type runKey struct {
 	app    string
 	scale  int
 	instrs uint64
+	attrib string // attribution-spec key; "" when attribution is off
 }
 
-func newRunKey(cfg vmm.Config, app string, scale int, instrs uint64) runKey {
+func newRunKey(cfg vmm.Config, app string, scale int, instrs uint64, attribKey string) runKey {
 	cfg.Pipeline = false
 	cfg.NoThreadedDispatch = false
-	return runKey{cfg, app, scale, instrs}
+	return runKey{cfg, app, scale, instrs, attribKey}
 }
+
+// attribKey returns the canonical attribution-spec string of the
+// options' observer ("" when attribution is off). It participates in
+// the run-cache and store keys: attribution never changes simulated
+// timing, but an attributing result carries extra payload a plain
+// request must not be served (and vice versa).
+func (o Options) attribKey() string { return o.Obs.AttribKey() }
 
 // runEntry is a once-guarded cache slot: concurrent requests for the
 // same simulation run it exactly once and the rest share the result.
@@ -88,12 +96,12 @@ func (o Options) runAppWarm(cfg vmm.Config, app string, instrs uint64, snapFn sn
 			if s := o.store(); s != nil {
 				// Fresh runs skip store reads but still publish: a later
 				// process can reuse the work.
-				s.save(runFileKey(cfg, app, scale, instrs), res)
+				s.save(runFileKey(cfg, app, scale, instrs, o.attribKey()), res)
 			}
 		}
 		return res, err
 	}
-	e, _ := runCache.LoadOrStore(newRunKey(cfg, app, scale, instrs), new(runEntry))
+	e, _ := runCache.LoadOrStore(newRunKey(cfg, app, scale, instrs, o.attribKey()), new(runEntry))
 	entry := e.(*runEntry)
 	entry.once.Do(func() {
 		entry.res, entry.err = o.simulateOrLoad(cfg, app, scale, instrs, snapFn)
@@ -113,7 +121,7 @@ func (o Options) simulateOrLoad(cfg vmm.Config, app string, scale int, instrs ui
 	s := o.store()
 	var key string
 	if s != nil {
-		key = runFileKey(cfg, app, scale, instrs)
+		key = runFileKey(cfg, app, scale, instrs, o.attribKey())
 		if res, _ := s.load(key); res != nil {
 			o.obsStore(true, cfg, app)
 			return res, nil
@@ -206,8 +214,8 @@ func (o Options) obsStore(hit bool, cfg vmm.Config, app string) {
 }
 
 // cloneResult copies a result deeply enough to hand out: Samples and
-// Metrics are the reference-typed fields. (Metric bucket slices are
-// shared — snapshots are immutable once taken.)
+// Metrics are the reference-typed fields. (Metric bucket slices and
+// the attribution snapshot are shared — both are immutable once taken.)
 func cloneResult(r *vmm.Result) *vmm.Result {
 	c := *r
 	c.Samples = append([]vmm.Sample(nil), r.Samples...)

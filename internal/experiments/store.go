@@ -22,6 +22,7 @@ import (
 	"codesignvm/internal/codecache"
 	"codesignvm/internal/experiments/faultfs"
 	"codesignvm/internal/obs"
+	"codesignvm/internal/obs/attrib"
 	"codesignvm/internal/vmm"
 )
 
@@ -60,7 +61,11 @@ const (
 	// v4: warm-start — Result.RestoredTranslations/RestoredX86 appended
 	//     and vmm.Config gained the WarmStart/Restore* fields (which
 	//     change the hashed %#v form on their own).
-	runSchema = 4
+	// v5: labeled metrics (Metric.Labels after Unit) and the trailing
+	//     cycle-attribution section (Result.Attrib); keys additionally
+	//     hash the attribution-spec string, so attributing and plain
+	//     runs occupy distinct entries.
+	runSchema = 5
 )
 
 // storeTuning groups the lock-protocol and GC time/size constants so
@@ -161,12 +166,16 @@ func (o Options) ctx() context.Context {
 // runFileKey derives the content-hash key of one simulation. The
 // host-side execution modes (Pipeline, NoThreadedDispatch) are
 // normalized out: all of them produce byte-identical results, so they
-// share one store entry.
-func runFileKey(cfg vmm.Config, app string, scale int, instrs uint64) string {
+// share one store entry. attribKey is the canonical attribution-spec
+// string ("" when attribution is off): attribution never changes the
+// simulated cycles, but an attributing result carries extra payload a
+// plain request must not be served (and vice versa), so the two key
+// separately.
+func runFileKey(cfg vmm.Config, app string, scale int, instrs uint64, attribKey string) string {
 	cfg.Pipeline = false
 	cfg.NoThreadedDispatch = false
 	h := sha256.New()
-	fmt.Fprintf(h, "v%d\n%#v\n%s\n%d\n%d\n", runSchema, cfg, app, scale, instrs)
+	fmt.Fprintf(h, "v%d\n%#v\n%s\n%d\n%d\n%s\n", runSchema, cfg, app, scale, instrs, attribKey)
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
@@ -644,6 +653,9 @@ func writeResult(w *bufio.Writer, r *vmm.Result) error {
 		if err := wstr(m.Unit); err != nil {
 			return err
 		}
+		if err := wstr(m.Labels); err != nil {
+			return err
+		}
 		if err := le(uint64(m.Kind), math.Float64bits(m.Value), m.Count, uint64(len(m.Buckets))); err != nil {
 			return err
 		}
@@ -651,6 +663,46 @@ func writeResult(w *bufio.Writer, r *vmm.Result) error {
 			if err := le(b.Le, b.Count); err != nil {
 				return err
 			}
+		}
+	}
+	// Cycle-attribution section (schema v5): a presence flag, then the
+	// snapshot — category cycles, reconciliation totals, region-grid
+	// geometry, the non-empty regions and the milestone phases.
+	if r.Attrib == nil {
+		return le(0)
+	}
+	a := r.Attrib
+	if err := le(1); err != nil {
+		return err
+	}
+	if err := le(fbits(a.Cat[:]...)...); err != nil {
+		return err
+	}
+	if err := le(fbits(a.TotalCycles, a.Residual)...); err != nil {
+		return err
+	}
+	if err := le(uint64(a.RegionBase), uint64(a.RegionShift), uint64(len(a.Regions))); err != nil {
+		return err
+	}
+	for i := range a.Regions {
+		rg := &a.Regions[i]
+		if err := le(uint64(rg.Slot)); err != nil {
+			return err
+		}
+		if err := le(fbits(rg.Cat[:]...)...); err != nil {
+			return err
+		}
+	}
+	if err := le(uint64(len(a.Phases))); err != nil {
+		return err
+	}
+	for i := range a.Phases {
+		ph := &a.Phases[i]
+		if err := le(ph.Milestone, ph.Instrs, math.Float64bits(ph.Cycles)); err != nil {
+			return err
+		}
+		if err := le(fbits(ph.Cat[:]...)...); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -759,6 +811,9 @@ func readResult(br *bufio.Reader) (*vmm.Result, error) {
 		if m.Unit, err = rstr(); err != nil {
 			return nil, err
 		}
+		if m.Labels, err = rstr(); err != nil {
+			return nil, err
+		}
 		var kind, vbits, nBuckets uint64
 		read64(&kind)
 		read64(&vbits)
@@ -779,6 +834,62 @@ func readResult(br *bufio.Reader) (*vmm.Result, error) {
 			m.Buckets = append(m.Buckets, b)
 		}
 		r.Metrics = append(r.Metrics, m)
+	}
+	var hasAttrib uint64
+	read64(&hasAttrib)
+	if err != nil {
+		return nil, err
+	}
+	if hasAttrib > 1 {
+		return nil, fmt.Errorf("experiments: bad attribution flag %d", hasAttrib)
+	}
+	if hasAttrib == 1 {
+		a := &attrib.Snapshot{}
+		for i := range a.Cat {
+			readf(&a.Cat[i])
+		}
+		readf(&a.TotalCycles)
+		readf(&a.Residual)
+		var base, shift, nRegions uint64
+		read64(&base)
+		read64(&shift)
+		read64(&nRegions)
+		if err != nil {
+			return nil, err
+		}
+		if nRegions > 1<<20 {
+			return nil, fmt.Errorf("experiments: implausible region count %d", nRegions)
+		}
+		a.RegionBase = uint32(base)
+		a.RegionShift = uint8(shift)
+		for i := uint64(0); i < nRegions; i++ {
+			var slot uint64
+			read64(&slot)
+			rg := attrib.RegionCycles{Slot: int(slot)}
+			for c := range rg.Cat {
+				readf(&rg.Cat[c])
+			}
+			a.Regions = append(a.Regions, rg)
+		}
+		var nPhases uint64
+		read64(&nPhases)
+		if err != nil {
+			return nil, err
+		}
+		if nPhases > 1<<16 {
+			return nil, fmt.Errorf("experiments: implausible phase count %d", nPhases)
+		}
+		for i := uint64(0); i < nPhases; i++ {
+			var ph attrib.Phase
+			read64(&ph.Milestone)
+			read64(&ph.Instrs)
+			readf(&ph.Cycles)
+			for c := range ph.Cat {
+				readf(&ph.Cat[c])
+			}
+			a.Phases = append(a.Phases, ph)
+		}
+		r.Attrib = a
 	}
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"codesignvm/internal/experiments/faultfs"
 	"codesignvm/internal/machine"
 	"codesignvm/internal/obs"
+	"codesignvm/internal/obs/attrib"
 	"codesignvm/internal/vmm"
 )
 
@@ -71,10 +72,31 @@ func sampleResult() *vmm.Result {
 	r.Metrics = obs.Snapshot{
 		{Name: "vm.bbt.translations", Unit: "blocks", Kind: obs.KindCounter, Value: 15},
 		{Name: "vm.run.cycles", Unit: "cycles", Kind: obs.KindGauge, Value: 987654.5},
+		{Name: "cycles", Unit: "cycles", Kind: obs.KindCounter, Value: 42,
+			Labels: obs.Label("category", "bbt-exec")},
 		{Name: "vm.bbt.block_x86", Unit: "x86 instrs", Kind: obs.KindHistogram,
 			Value: 60, Count: 9,
 			Buckets: []obs.Bucket{{Le: 4, Count: 3}, {Le: 8, Count: 6}, {Le: obs.InfBound, Count: 0}}},
 	}
+	r.Attrib = &attrib.Snapshot{
+		TotalCycles: 987654.5,
+		Residual:    -0.25,
+		RegionBase:  0x00400000,
+		RegionShift: 12,
+		Regions: []attrib.RegionCycles{
+			{Slot: 0}, {Slot: 3},
+		},
+		Phases: []attrib.Phase{
+			{Milestone: 1000, Instrs: 1001, Cycles: 1500.5},
+			{Milestone: 2000, Instrs: 2004, Cycles: 3100.25},
+		},
+	}
+	for i := range r.Attrib.Cat {
+		r.Attrib.Cat[i] = float64(i) * 2.25
+	}
+	r.Attrib.Regions[0].Cat[attrib.Chain] = 7.5
+	r.Attrib.Regions[1].Cat[attrib.BBTExec] = 11.75
+	r.Attrib.Phases[1].Cat[attrib.Interpret] = 99.5
 	return r
 }
 
@@ -88,6 +110,57 @@ func TestRunStoreRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round-trip mismatch\nwant: %+v\ngot:  %+v", want, got)
+	}
+}
+
+// TestRunStoreRoundTripNoAttrib: a result without an attribution
+// snapshot (the common case) round-trips with Attrib nil, not a zero
+// snapshot.
+func TestRunStoreRoundTripNoAttrib(t *testing.T) {
+	want := sampleResult()
+	want.Attrib = nil
+	got, err := decodeResult(encodeResult(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attrib != nil {
+		t.Fatalf("nil Attrib decoded as %+v", got.Attrib)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch\nwant: %+v\ngot:  %+v", want, got)
+	}
+}
+
+// TestRunStoreAttribKeySplits: attribution never changes simulated
+// timing, but it changes the result payload — so the attribution-spec
+// key must split both the store key and the in-process cache key,
+// while two identical specs must share.
+func TestRunStoreAttribKeySplits(t *testing.T) {
+	opt := detOpt().withDefaults()
+	cfg := opt.configFor(machine.VMSoft)
+	spec := DefaultAttribSpec(1000)
+
+	if runFileKey(cfg, "Word", 25, 1000, "") == runFileKey(cfg, "Word", 25, 1000, spec.Key()) {
+		t.Error("attribution spec did not split the store key")
+	}
+	if runFileKey(cfg, "Word", 25, 1000, spec.Key()) != runFileKey(cfg, "Word", 25, 1000, spec.Key()) {
+		t.Error("identical attribution specs split the store key")
+	}
+	if newRunKey(cfg, "Word", 25, 1000, "") == newRunKey(cfg, "Word", 25, 1000, spec.Key()) {
+		t.Error("attribution spec did not split the in-process cache key")
+	}
+
+	// Options plumbing: attribKey follows the observer's state.
+	if got := opt.attribKey(); got != "" {
+		t.Errorf("attribKey with no observer = %q, want \"\"", got)
+	}
+	opt.Obs = obs.NewObserver(nil)
+	if got := opt.attribKey(); got != "" {
+		t.Errorf("attribKey with attribution off = %q, want \"\"", got)
+	}
+	opt.Obs.EnableAttrib(spec)
+	if got := opt.attribKey(); got != spec.Key() {
+		t.Errorf("attribKey = %q, want %q", got, spec.Key())
 	}
 }
 
@@ -153,15 +226,15 @@ func TestRunStoreKeyNormalization(t *testing.T) {
 	seq.Pipeline = false
 	pipe := cfg
 	pipe.Pipeline = true
-	if runFileKey(seq, "Word", 25, 1000) != runFileKey(pipe, "Word", 25, 1000) {
+	if runFileKey(seq, "Word", 25, 1000, "") != runFileKey(pipe, "Word", 25, 1000, "") {
 		t.Error("pipeline flag split the store key")
 	}
-	if runFileKey(cfg, "Word", 25, 1000) == runFileKey(cfg, "Excel", 25, 1000) {
+	if runFileKey(cfg, "Word", 25, 1000, "") == runFileKey(cfg, "Excel", 25, 1000, "") {
 		t.Error("app name did not affect the store key")
 	}
 	other := cfg
 	other.HotThreshold++
-	if runFileKey(cfg, "Word", 25, 1000) == runFileKey(other, "Word", 25, 1000) {
+	if runFileKey(cfg, "Word", 25, 1000, "") == runFileKey(other, "Word", 25, 1000, "") {
 		t.Error("config change did not affect the store key")
 	}
 }

@@ -271,7 +271,7 @@ func TestRunStoreFaultsDegradeToSimulation(t *testing.T) {
 				// something to corrupt.
 				pre := fopt
 				pre.storeFS = faultfs.Disk{}
-				if err := pre.store().save(runFileKey(cfg, "Word", fopt.Scale, fopt.ShortInstrs), want); err != nil {
+				if err := pre.store().save(runFileKey(cfg, "Word", fopt.Scale, fopt.ShortInstrs, ""), want); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -185,10 +185,13 @@ func (o Options) buildSnapshot(cold vmm.Config, app string, scale int, instrs ui
 		return nil, nil, err
 	}
 	if s := o.store(); s != nil {
-		s.save(runFileKey(cold, app, scale, instrs), res) // best-effort
+		s.save(runFileKey(cold, app, scale, instrs, o.attribKey()), res) // best-effort
 	}
 	if !o.FreshRuns {
-		e, _ := runCache.LoadOrStore(newRunKey(cold, app, scale, instrs), new(runEntry))
+		// Seed under the same attribution key the runs above used: the
+		// producer's recorder came from the same observer, so its result
+		// carries exactly the payload that key promises.
+		e, _ := runCache.LoadOrStore(newRunKey(cold, app, scale, instrs, o.attribKey()), new(runEntry))
 		entry := e.(*runEntry)
 		entry.once.Do(func() { entry.res = res })
 	}

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"codesignvm/internal/obs/attrib"
 )
 
 // EventKind enumerates the VM lifecycle events. OBSERVABILITY.md
@@ -268,10 +270,12 @@ type Observer struct {
 	// them while a sweep runs.
 	Proc *Registry
 
-	mu     sync.Mutex
-	runs   []*Recorder
-	tlSpec TimelineSpec
-	tlOn   bool
+	mu       sync.Mutex
+	runs     []*Recorder
+	tlSpec   TimelineSpec
+	tlOn     bool
+	atSpec   attrib.Spec
+	attribOn bool
 }
 
 // NewObserver returns an observer emitting to sink (nil: metrics only,
@@ -325,6 +329,62 @@ func (o *Observer) TimelineEnabled() bool {
 	return o.tlOn
 }
 
+// EnableAttrib turns on cycle attribution: every Recorder minted by a
+// subsequent NewRun carries a fresh attrib.Profile with this spec, and
+// any VM the recorder is attached to charges its simulated cycles into
+// it. No-op on a nil observer. Call before the sweep starts;
+// already-minted recorders are unchanged.
+func (o *Observer) EnableAttrib(spec attrib.Spec) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.atSpec = spec
+	o.attribOn = true
+	o.mu.Unlock()
+}
+
+// AttribEnabled reports whether EnableAttrib has been called.
+func (o *Observer) AttribEnabled() bool {
+	if o == nil {
+		return false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.attribOn
+}
+
+// AttribKey returns the canonical cache-key string of the enabled
+// attribution spec, or "" when attribution is off. Run caches fold it
+// into their keys: an attributing run books the same simulated cycles
+// but carries a different result payload, so it must not share cache
+// entries with a non-attributing one.
+func (o *Observer) AttribKey() string {
+	if o == nil {
+		return ""
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.attribOn {
+		return ""
+	}
+	return o.atSpec.Key()
+}
+
+// AttribSpec returns the enabled attribution spec (zero Spec when
+// attribution is off; check AttribEnabled to distinguish).
+func (o *Observer) AttribSpec() attrib.Spec {
+	if o == nil {
+		return attrib.Spec{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.attribOn {
+		return attrib.Spec{}
+	}
+	return o.atSpec
+}
+
 // NewRun mints the per-run Recorder for one simulation: a fresh
 // Registry (whose end-of-run Snapshot rides on the run's Result) plus
 // the shared sink and sequence — and, when EnableTimeline has been
@@ -337,6 +397,9 @@ func (o *Observer) NewRun(tag string) *Recorder {
 	o.mu.Lock()
 	if o.tlOn {
 		r.timeline = NewTimeline(o.tlSpec)
+	}
+	if o.attribOn {
+		r.attrib = attrib.New(o.atSpec)
 	}
 	o.runs = append(o.runs, r)
 	o.mu.Unlock()
@@ -422,7 +485,13 @@ type Recorder struct {
 
 	obs      *Observer
 	tag      string
-	timeline *Timeline // nil unless the observer enabled sampling
+	timeline *Timeline       // nil unless the observer enabled sampling
+	attrib   *attrib.Profile // nil unless the observer enabled attribution
+
+	// snapMu guards snap: the run's finished attribution snapshot, set
+	// once by the VM at run end and read by live reporting (/runs).
+	snapMu sync.Mutex
+	snap   *attrib.Snapshot
 }
 
 // NewRecorder returns a standalone recorder (own registry, events to
@@ -446,6 +515,37 @@ func (r *Recorder) Timeline() *Timeline {
 		return nil
 	}
 	return r.timeline
+}
+
+// Attrib returns the run's cycle-attribution profile, or nil when the
+// observer did not enable attribution (or on a nil recorder).
+func (r *Recorder) Attrib() *attrib.Profile {
+	if r == nil {
+		return nil
+	}
+	return r.attrib
+}
+
+// SetAttrib publishes the run's finished attribution snapshot (called
+// by the VM at run end; safe against concurrent AttribSnapshot reads).
+func (r *Recorder) SetAttrib(s *attrib.Snapshot) {
+	if r == nil {
+		return
+	}
+	r.snapMu.Lock()
+	r.snap = s
+	r.snapMu.Unlock()
+}
+
+// AttribSnapshot returns the published snapshot, or nil while the run
+// is still in flight (or attribution is off).
+func (r *Recorder) AttribSnapshot() *attrib.Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	return r.snap
 }
 
 // Emit issues one lifecycle event for this run with no timestamp.

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+
+	"codesignvm/internal/obs/attrib"
 )
 
 // Live introspection over HTTP: a handler exposing the observer's
@@ -27,6 +29,9 @@ type RunStatus struct {
 	// (omitted without a timeline).
 	IntervalIPC    float64 `json:"interval_ipc,omitempty"`
 	TimelineSlices int     `json:"timeline_slices,omitempty"`
+	// Phases is the run's cycle-attribution breakdown by category name
+	// (omitted until the run finishes, or when attribution is off).
+	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
 // RunsStatus is the /runs response shape.
@@ -84,6 +89,14 @@ func (o *Observer) Status(info map[string]string) RunsStatus {
 		}
 		if rs.Cycles > 0 {
 			rs.IPC = float64(rs.Instrs) / rs.Cycles
+		}
+		if as := r.AttribSnapshot(); as != nil {
+			rs.Phases = make(map[string]float64, len(as.Cat))
+			for c, v := range as.Cat {
+				if v != 0 {
+					rs.Phases[attrib.Category(c).String()] = v
+				}
+			}
 		}
 		st.Runs = append(st.Runs, rs)
 	}

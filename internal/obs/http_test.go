@@ -31,7 +31,7 @@ func get(t *testing.T, h *httptest.Server, path string) (int, string, string) {
 var openMetricsLine = regexp.MustCompile(
 	`^(# (TYPE|HELP|UNIT) codesignvm_[a-zA-Z0-9_]+ .*` +
 		`|# EOF` +
-		`|codesignvm_[a-zA-Z0-9_]+(\{le="(\+Inf|[0-9]+)"\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+		`|codesignvm_[a-zA-Z0-9_]+(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
 
 // validateOpenMetrics checks every line of an exposition body and the
 // terminating # EOF.

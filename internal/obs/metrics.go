@@ -114,6 +114,7 @@ type Bucket struct {
 type Metric struct {
 	Name    string
 	Unit    string
+	Labels  string // rendered OpenMetrics label pairs (`k="v",...`); "" for none
 	Kind    Kind
 	Value   float64  // counter: count; gauge: value; histogram: sum
 	Count   uint64   // histogram: number of observations
@@ -124,9 +125,32 @@ type Metric struct {
 // order. It is a plain value: safe to store, compare, serialize.
 type Snapshot []Metric
 
+// Label renders one OpenMetrics label pair with the required escaping
+// of backslash, double-quote and newline in the value. Join multiple
+// pairs with commas before passing them to CounterL.
+func Label(k, v string) string {
+	buf := make([]byte, 0, len(k)+len(v)+3)
+	buf = append(buf, k...)
+	buf = append(buf, '=', '"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return string(append(buf, '"'))
+}
+
 // entry is one registered metric.
 type entry struct {
 	name, unit string
+	labels     string
 	kind       Kind
 	c          *Counter
 	g          *Gauge
@@ -148,24 +172,36 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*entry)}
 }
 
-func (r *Registry) lookup(name, unit string, kind Kind) *entry {
+func (r *Registry) lookup(name, unit, labels string, kind Kind) *entry {
+	key := name
+	if labels != "" {
+		key = name + "\xff" + labels
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e := r.byName[name]; e != nil {
+	if e := r.byName[key]; e != nil {
 		if e.kind != kind {
 			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, e.kind))
 		}
 		return e
 	}
-	e := &entry{name: name, unit: unit, kind: kind}
-	r.byName[name] = e
+	e := &entry{name: name, unit: unit, labels: labels, kind: kind}
+	r.byName[key] = e
 	r.ents = append(r.ents, e)
 	return e
 }
 
 // Counter registers (or returns) a counter.
 func (r *Registry) Counter(name, unit string) *Counter {
-	e := r.lookup(name, unit, KindCounter)
+	return r.CounterL(name, unit, "")
+}
+
+// CounterL registers (or returns) a labeled counter: one member of a
+// counter family, identified by name plus the rendered label pairs
+// (build them with Label). Members of a family are distinct metrics;
+// OpenMetrics output renders them as `name_total{labels} value`.
+func (r *Registry) CounterL(name, unit, labels string) *Counter {
+	e := r.lookup(name, unit, labels, KindCounter)
 	if e.c == nil {
 		e.c = &Counter{}
 	}
@@ -174,7 +210,7 @@ func (r *Registry) Counter(name, unit string) *Counter {
 
 // Gauge registers (or returns) a gauge.
 func (r *Registry) Gauge(name, unit string) *Gauge {
-	e := r.lookup(name, unit, KindGauge)
+	e := r.lookup(name, unit, "", KindGauge)
 	if e.g == nil {
 		e.g = &Gauge{}
 	}
@@ -185,7 +221,7 @@ func (r *Registry) Gauge(name, unit string) *Gauge {
 // bucket upper bounds (strictly increasing; an implicit +inf bucket is
 // appended). The layout of an existing histogram is kept.
 func (r *Registry) Histogram(name, unit string, bounds []uint64) *Histogram {
-	e := r.lookup(name, unit, KindHistogram)
+	e := r.lookup(name, unit, "", KindHistogram)
 	if e.h == nil {
 		e.h = &Histogram{
 			bounds: append([]uint64(nil), bounds...),
@@ -202,7 +238,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	out := make(Snapshot, 0, len(ents))
 	for _, e := range ents {
-		m := Metric{Name: e.name, Unit: e.unit, Kind: e.kind}
+		m := Metric{Name: e.name, Unit: e.unit, Labels: e.labels, Kind: e.kind}
 		switch e.kind {
 		case KindCounter:
 			m.Value = float64(e.c.Value())
@@ -235,7 +271,7 @@ func (s Snapshot) Get(name string) (Metric, bool) {
 	return Metric{}, false
 }
 
-// Merge combines snapshots by metric name: counters and histogram
+// Merge combines snapshots by metric name and labels: counters and histogram
 // buckets sum, gauges keep their maximum (a "high-water" view — summing
 // occupancy gauges across runs would be meaningless). Histograms with
 // mismatched bucket layouts keep the first layout and fold extra
@@ -245,9 +281,10 @@ func Merge(snaps ...Snapshot) Snapshot {
 	idx := make(map[string]int)
 	for _, s := range snaps {
 		for _, m := range s {
-			i, ok := idx[m.Name]
+			key := m.Name + "\xff" + m.Labels
+			i, ok := idx[key]
 			if !ok {
-				idx[m.Name] = len(out)
+				idx[key] = len(out)
 				c := m
 				c.Buckets = append([]Bucket(nil), m.Buckets...)
 				out = append(out, c)
@@ -279,16 +316,23 @@ func Merge(snaps ...Snapshot) Snapshot {
 // table mode of cmd/vmsim). Histograms print count/mean plus their
 // non-empty buckets.
 func (s Snapshot) Format(w io.Writer) {
+	display := func(m *Metric) string {
+		if m.Labels == "" {
+			return m.Name
+		}
+		return m.Name + "{" + m.Labels + "}"
+	}
 	wide := 10
-	for _, m := range s {
-		if len(m.Name) > wide {
-			wide = len(m.Name)
+	for i := range s {
+		if n := len(display(&s[i])); n > wide {
+			wide = n
 		}
 	}
-	for _, m := range s {
+	for i := range s {
+		m := s[i]
 		switch m.Kind {
 		case KindCounter:
-			fmt.Fprintf(w, "%-*s  %14.0f %s\n", wide, m.Name, m.Value, m.Unit)
+			fmt.Fprintf(w, "%-*s  %14.0f %s\n", wide, display(&m), m.Value, m.Unit)
 		case KindGauge:
 			fmt.Fprintf(w, "%-*s  %14.6g %s\n", wide, m.Name, m.Value, m.Unit)
 		case KindHistogram:
@@ -316,6 +360,7 @@ type jsonMetric struct {
 	Name    string   `json:"name"`
 	Kind    string   `json:"kind"`
 	Unit    string   `json:"unit,omitempty"`
+	Labels  string   `json:"labels,omitempty"`
 	Value   float64  `json:"value"`
 	Count   uint64   `json:"count,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
@@ -327,9 +372,14 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	ms := make([]jsonMetric, len(s))
 	for i, m := range s {
 		ms[i] = jsonMetric{Name: m.Name, Kind: m.Kind.String(), Unit: m.Unit,
-			Value: m.Value, Count: m.Count, Buckets: m.Buckets}
+			Labels: m.Labels, Value: m.Value, Count: m.Count, Buckets: m.Buckets}
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return ms[i].Labels < ms[j].Labels
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(ms)

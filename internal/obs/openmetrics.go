@@ -45,16 +45,31 @@ func openMetricsName(name string) string {
 func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	ms := append(Snapshot(nil), s...)
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Name != ms[j].Name {
+			return ms[i].Name < ms[j].Name
+		}
+		return ms[i].Labels < ms[j].Labels
+	})
+	prevTyped := ""
 	for _, m := range ms {
 		name := openMetricsName(m.Name)
+		// Labels are pre-rendered (`k="v",...`, escaped at Label); a
+		// labeled family shares one TYPE/HELP block across its members.
+		sel := ""
+		if m.Labels != "" {
+			sel = "{" + m.Labels + "}"
+		}
 		switch m.Kind {
 		case KindCounter:
-			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
-			if m.Unit != "" {
-				fmt.Fprintf(bw, "# HELP %s %s (%s)\n", name, m.Name, m.Unit)
+			if name != prevTyped {
+				fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+				if m.Unit != "" {
+					fmt.Fprintf(bw, "# HELP %s %s (%s)\n", name, m.Name, m.Unit)
+				}
+				prevTyped = name
 			}
-			fmt.Fprintf(bw, "%s_total %.0f\n", name, m.Value)
+			fmt.Fprintf(bw, "%s_total%s %.0f\n", name, sel, m.Value)
 		case KindGauge:
 			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
 			if m.Unit != "" {

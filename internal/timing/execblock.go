@@ -53,7 +53,7 @@ func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.T
 	stats.TakenBranchIdx = -1
 
 	// Dataflow state in locals, exactly as in ChargeBlock.
-	clock, lastRetire := e.clock, e.lastRetire
+	clock, lastRetire, brStall := e.clock, e.lastRetire, e.brStall
 	ring, ringIdx := e.ring, e.ringIdx
 	invWidth := e.invWidth
 	flagReady := e.flagReady
@@ -72,7 +72,7 @@ func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.T
 
 	for i := start; ; {
 		if i < 0 || i >= len(uops) {
-			e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+			e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 			*out = stats
 			return 0, 0, fmt.Errorf("timing: control flow escaped translation (index %d of %d)", i, len(uops))
 		}
@@ -199,14 +199,14 @@ func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.T
 		case fisa.UDIVQ, fisa.UDIVR:
 			divisor := uint64(st.R[u.Src1])
 			if divisor == 0 {
-				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 				*out = stats
 				return 0, 0, fmt.Errorf("fisa: divide fault at µop %d", i)
 			}
 			dividend := uint64(st.R[fisa.REDX])<<32 | uint64(st.R[fisa.REAX])
 			q := dividend / divisor
 			if q > 0xFFFFFFFF {
-				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 				*out = stats
 				return 0, 0, fmt.Errorf("fisa: divide overflow at µop %d", i)
 			}
@@ -219,14 +219,14 @@ func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.T
 		case fisa.UIDIVQ, fisa.UIDIVR:
 			divisor := int64(int32(st.R[u.Src1]))
 			if divisor == 0 {
-				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 				*out = stats
 				return 0, 0, fmt.Errorf("fisa: divide fault at µop %d", i)
 			}
 			dividend := int64(uint64(st.R[fisa.REDX])<<32 | uint64(st.R[fisa.REAX]))
 			q := dividend / divisor
 			if q > 0x7FFFFFFF || q < -0x80000000 {
-				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 				*out = stats
 				return 0, 0, fmt.Errorf("fisa: divide overflow at µop %d", i)
 			}
@@ -327,7 +327,7 @@ func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.T
 			stopped = true
 
 		default:
-			e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+			e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 			*out = stats
 			return 0, 0, fmt.Errorf("timing: cannot fuse-execute %v", u.Op)
 		}
@@ -379,12 +379,13 @@ func (e *Engine) ExecBlock(st *fisa.NativeState, mem *x86.Memory, t *codecache.T
 			if m.Bits&codecache.MetaIsBranch != 0 && brPen > 0 {
 				resume := complete + brPen
 				if resume > clock {
+					brStall += resume - clock
 					clock = resume
 				}
 			}
 
 			if stopped {
-				e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+				e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 				*out = stats
 				return stop, i, nil
 			}

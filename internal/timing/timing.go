@@ -85,6 +85,10 @@ type Engine struct {
 	ring       []float64 // retire times of the last Window entities
 	ringIdx    int
 	lastRetire float64
+	// brStall accumulates the clock advance caused by branch
+	// misprediction bubbles (the resume-past-clock part only), so the
+	// attribution profiler can split bpred stalls out of block spans.
+	brStall float64
 
 	// Event queues filled during functional execution and consumed by
 	// the timing replay, in program order. Consumption advances the head
@@ -112,6 +116,11 @@ func NewEngine(p Params) *Engine {
 
 // Now returns the machine time in cycles.
 func (e *Engine) Now() float64 { return e.clock }
+
+// BranchStalls returns the cumulative cycles the clock was pushed
+// forward by branch misprediction bubbles. Deltas of this counter
+// across a block span isolate the span's bpred-stall share.
+func (e *Engine) BranchStalls() float64 { return e.brStall }
 
 // AdvanceClock consumes cycles of software activity (translation,
 // interpretation, VMM work): the pipeline is busy running VMM code.
@@ -298,6 +307,7 @@ func (e *Engine) ChargeRange(uops []fisa.MicroOp, lo, hi int) {
 				// frontend refill.
 				resume := complete + pen
 				if resume > e.clock {
+					e.brStall += resume - e.clock
 					e.clock = resume
 				}
 			}
@@ -332,7 +342,7 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 	// operation for operation, to issueEntity;
 	// TestChargeBlockMatchesChargeRange pins the two together.
 	meta = meta[:len(uops)]
-	clock, lastRetire := e.clock, e.lastRetire
+	clock, lastRetire, brStall := e.clock, e.lastRetire, e.brStall
 	ring, ringIdx := e.ring, e.ringIdx
 	invWidth := e.invWidth
 	flagReady := e.flagReady
@@ -398,6 +408,7 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 			if pen := e.popBr(); pen > 0 {
 				resume := complete + pen
 				if resume > clock {
+					brStall += resume - clock
 					clock = resume
 				}
 			}
@@ -405,7 +416,7 @@ func (e *Engine) ChargeBlock(t *codecache.Translation, lo, hi int) {
 
 		i += int(m.Step)
 	}
-	e.clock, e.lastRetire, e.ringIdx, e.flagReady = clock, lastRetire, ringIdx, flagReady
+	e.clock, e.lastRetire, e.ringIdx, e.flagReady, e.brStall = clock, lastRetire, ringIdx, flagReady, brStall
 }
 
 // entityMeta computes the issue-entity shape for the micro-op u (paired

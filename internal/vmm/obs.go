@@ -5,6 +5,7 @@ import (
 
 	"codesignvm/internal/codecache"
 	"codesignvm/internal/obs"
+	"codesignvm/internal/obs/attrib"
 )
 
 // Observability wiring. The VM carries an optional *vmObs holding the
@@ -75,6 +76,7 @@ type vmObs struct {
 // slice at each interval boundary.
 func (v *VM) SetObserver(rec *obs.Recorder) {
 	v.tl = rec.Timeline()
+	v.prof = rec.Attrib()
 	if v.tl != nil {
 		v.tlNext = v.tl.NextBoundary()
 		v.tlArmed = true
@@ -148,6 +150,15 @@ func (v *VM) obsRunEnd() {
 		reg.Counter("vm.restore.x86", "instrs").Store(v.res.RestoredX86)
 		reg.Gauge("vm.restore.pending", "translations").
 			Set(float64(len(v.warm.bbt) + len(v.warm.sbt)))
+	}
+	if s := v.res.Attrib; s != nil {
+		// Mirror the attribution categories as one labeled counter
+		// family (OpenMetrics: codesignvm_cycles_total{category="..."}).
+		for c := attrib.Category(0); c < attrib.NumCategories; c++ {
+			reg.CounterL("cycles", "cycles", obs.Label("category", c.String())).
+				Store(uint64(math.Round(s.Cat[c])))
+		}
+		o.rec.SetAttrib(s)
 	}
 	o.rec.EmitAt(obs.EvRunEnd, 0, v.instrs, v.res.Instrs, uint64(v.res.Cycles), 0)
 	v.res.Metrics = reg.Snapshot()

@@ -13,6 +13,7 @@ import (
 	"codesignvm/internal/hwassist"
 	"codesignvm/internal/interp"
 	"codesignvm/internal/obs"
+	"codesignvm/internal/obs/attrib"
 	"codesignvm/internal/profile"
 	"codesignvm/internal/sbt"
 	"codesignvm/internal/timing"
@@ -105,6 +106,11 @@ type VM struct {
 	// single float compare guarding appendTimeline at each call site.
 	tl     *obs.Timeline
 	tlNext float64
+
+	// Cycle-attribution profiler (consumer side; nil when disabled —
+	// every hook below is guarded by the nil check, so the disabled
+	// cost is one predictable branch per timing site).
+	prof *attrib.Profile
 }
 
 // New builds a VM over the program memory with the given initial
@@ -218,7 +224,11 @@ func (v *VM) setMode(x86mode bool) {
 }
 
 // charge advances the machine clock by cycles of software activity and
-// attributes them to cat. Consumer side.
+// attributes them to cat. Consumer side. Callers that also feed the
+// attribution profiler make their own nil-guarded v.prof.Charge call:
+// a guarded call inside this body would push charge past the inlining
+// budget and cost every disabled-mode charge site a function call
+// (the <2% disabled-cost contract, OBSERVABILITY.md).
 func (v *VM) charge(cat Category, cycles float64) {
 	v.eng.AdvanceClock(cycles)
 	v.res.Cat[cat] += cycles
@@ -328,6 +338,11 @@ func (v *VM) Run(maxInstrs uint64) (*Result, error) {
 	v.res.Halted = v.halted
 	v.res.XltInvocations = v.xlt.Invocations
 	v.res.XltBusyCycles = v.xlt.BusyCycles
+	if v.prof != nil {
+		// Reconcile the attribution against the run total; both pipeline
+		// sides have joined, so consumer-owned profiler state is stable.
+		v.res.Attrib = v.prof.Finish(v.res.Cycles)
+	}
 	if !v.Cfg.NoStartupSamples {
 		v.res.Samples = append(v.res.Samples, v.snapshot())
 	}
@@ -442,7 +457,7 @@ func (v *VM) dispatchSlow() (*codecache.Translation, Category, error) {
 	fromShadow := v.prevT != nil && v.prevT.Shadow
 	if !t.Shadow && (cfg.Strategy.UsesBBT() || t.Kind == codecache.KindSBT) &&
 		!(cfg.Strategy == StratFE && fromShadow) {
-		v.emitCharge(CatVMM, cfg.DispatchCycles)
+		v.emitCharge(CatVMM, attrib.Chain, v.pc, cfg.DispatchCycles)
 	}
 
 	// Mode switches (VM.fe): crossing between x86-mode and native mode.
@@ -452,7 +467,7 @@ func (v *VM) dispatchSlow() (*codecache.Translation, Category, error) {
 	if cfg.Strategy == StratFE {
 		x86mode := cat == CatX86Emu
 		if x86mode != v.inX86 {
-			v.emitCharge(CatVMM, cfg.ModeSwitchCycles)
+			v.emitCharge(CatVMM, attrib.Chain, v.pc, cfg.ModeSwitchCycles)
 			v.inX86 = x86mode
 		}
 	}
@@ -642,7 +657,7 @@ func (v *VM) translateBBT() (*codecache.Translation, error) {
 		// data cache and writes the translation through it as well.
 		v.emitTouch(t.EntryPC, uint32(t.X86Bytes), false)
 	}
-	v.emitCharge(CatBBTXlate, cost)
+	v.emitCharge(CatBBTXlate, attrib.BBTTranslate, t.EntryPC, cost)
 
 	// A flushing insert recycles the arena backing every old-epoch
 	// translation, so the pipelined consumer must not be holding trace
@@ -680,7 +695,7 @@ func (v *VM) formSuperblock(pc uint32) error {
 		return err
 	}
 	v.analyze(t)
-	v.emitCharge(CatSBTXlate, cfg.SBTCyclesPerInst*float64(t.NumX86))
+	v.emitCharge(CatSBTXlate, attrib.SBTForm, pc, cfg.SBTCyclesPerInst*float64(t.NumX86))
 	// The optimizer reads the architected code and writes the superblock
 	// through the data cache (it is software in every configuration).
 	v.emitTouch(pc, uint32(t.X86Bytes), false)

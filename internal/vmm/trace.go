@@ -3,8 +3,23 @@ package vmm
 import (
 	"codesignvm/internal/codecache"
 	"codesignvm/internal/fisa"
+	"codesignvm/internal/obs/attrib"
 	"codesignvm/internal/timing"
 )
+
+// acatExec maps a block's dispatch category to the attribution category
+// its execution span is charged to (obs/attrib taxonomy). Translation
+// work, chaining, restore traffic and the stall split-outs have their
+// own categories and are charged at their own sites.
+var acatExec = [NumCategories]attrib.Category{
+	CatBBTXlate: attrib.BBTTranslate,
+	CatSBTXlate: attrib.SBTForm,
+	CatBBTEmu:   attrib.BBTExec,
+	CatSBTEmu:   attrib.SBTExec,
+	CatX86Emu:   attrib.X86Exec,
+	CatInterp:   attrib.Interpret,
+	CatVMM:      attrib.Chain,
+}
 
 // The execute/timing pipeline decouples the VM's functional work from
 // its timing work. The producer (the Run loop: dispatch, translation,
@@ -36,8 +51,9 @@ import (
 type traceOp uint8
 
 const (
-	// opCharge advances the machine clock by f cycles of software
-	// activity attributed to category cat (VM.charge).
+	// opCharge advances the machine clock by c cycles of software
+	// activity attributed to category cat (VM.charge); a carries the
+	// incurring x86 PC and u8 the attrib.Category for the profiler.
 	opCharge traceOp = iota
 	// opTouch warms the data hierarchy over [a, a+b) (translator
 	// traffic); flagWrite selects a write.
@@ -117,7 +133,7 @@ type traceRec struct {
 	op    traceOp
 	flags uint8
 	cat   Category
-	u8    uint8 // memory access size
+	u8    uint8 // memory access size; attrib category for opCharge
 }
 
 // apply performs the timing work of one trace record by dispatching to
@@ -130,6 +146,9 @@ func (v *VM) apply(r *traceRec) {
 	switch r.op {
 	case opCharge:
 		v.charge(r.cat, r.c)
+		if v.prof != nil {
+			v.prof.Charge(attrib.Category(r.u8), r.a, r.c)
+		}
 
 	case opTouch:
 		v.eng.Caches.Touch(r.a, int(r.b), r.flags&flagWrite != 0)
@@ -160,7 +179,11 @@ func (v *VM) apply(r *traceRec) {
 		v.eng.ChargeBlock(r.t, int(r.i1), int(r.i2))
 
 	case opSegInterp:
-		v.segInterp(int(r.i1))
+		cost, stall := v.segInterpAt(int(r.i1))
+		v.eng.AdvanceClock(cost)
+		if v.prof != nil {
+			v.prof.SpanDMiss(stall)
+		}
 
 	case opCallout:
 		v.callout(r.flags&flagCalloutCost != 0)
@@ -198,20 +221,30 @@ func (v *VM) bookXlt(numX86 uint32, simple, complexN int) {
 func (v *VM) blockStart(t *codecache.Translation, cat Category) {
 	v.setMode(cat == CatX86Emu)
 	v.spanStart = v.eng.Now()
+	var fetch float64
 	switch cat {
 	case CatInterp:
-		v.eng.AdvanceClock(v.interpFetch(t))
+		fetch = v.interpFetch(t)
 	case CatX86Emu:
-		v.eng.AdvanceClock(v.eng.FetchCycles(t.EntryPC, t.X86Bytes))
+		fetch = v.eng.FetchCycles(t.EntryPC, t.X86Bytes)
 	default:
-		v.eng.AdvanceClock(v.eng.FetchCycles(t.Addr, t.Size))
+		fetch = v.eng.FetchCycles(t.Addr, t.Size)
+	}
+	v.eng.AdvanceClock(fetch)
+	if v.prof != nil {
+		v.prof.SpanOpen(t.EntryPC, fetch, v.eng.BranchStalls())
 	}
 }
 
 // segInterp charges an interpreted segment of n architected
-// instructions plus the queued load stalls.
-func (v *VM) segInterp(n int) {
-	v.eng.AdvanceClock(v.Cfg.InterpCyclesPerInst*float64(n) + v.eng.DrainQueues())
+// instructions plus the queued load stalls. The queued-stall share is
+// split out to the profiler as dmiss-stall cycles. Like charge, the
+// guarded profiler call would push this helper past the inlining
+// budget, so both callers (apply and emitSegInterp, neither inlined
+// themselves) open-code the body via segInterpAt.
+func (v *VM) segInterpAt(n int) (cost, stall float64) {
+	stall = v.eng.DrainQueues()
+	return v.Cfg.InterpCyclesPerInst*float64(n) + stall, stall
 }
 
 // callout serializes the pipeline around a complex-instruction callout.
@@ -235,8 +268,13 @@ func (v *VM) blockEnd(cat Category, boundaries, uops int, entities uint64) {
 	} else if cat != CatInterp {
 		v.dmd.OnNativeMode(uops)
 	}
-	v.attribute(cat, v.eng.Now()-v.spanStart)
+	span := v.eng.Now() - v.spanStart
+	v.attribute(cat, span)
 	v.res.Instrs += uint64(boundaries)
+	if v.prof != nil {
+		v.prof.SpanClose(acatExec[cat], span, v.eng.BranchStalls())
+		v.prof.NoteInstrs(v.res.Instrs, v.cycles)
+	}
 	switch cat {
 	case CatSBTEmu:
 		v.res.SBTInstrs += uint64(boundaries)
@@ -267,8 +305,14 @@ func (v *VM) exitInd(cat Category, branchPC, target, returnPC uint32, flags uint
 		pen = v.eng.BranchCycles(timing.CTIIndirect, branchPC, target, 0, true)
 	}
 	v.charge(cat, pen)
+	if v.prof != nil {
+		v.prof.Charge(attrib.BPredStall, branchPC, pen)
+	}
 	if flags&flagIndLookup != 0 {
 		v.charge(CatVMM, v.Cfg.IndirectCycles)
+		if v.prof != nil {
+			v.prof.Charge(attrib.Chain, branchPC, v.Cfg.IndirectCycles)
+		}
 	}
 }
 
@@ -279,12 +323,15 @@ func (v *VM) exitInd(cat Category, branchPC, target, returnPC uint32, flags uint
 // hosts and the reference arm of every determinism test, so it should
 // pay nothing for the pipeline's existence.
 
-func (v *VM) emitCharge(cat Category, cycles float64) {
+func (v *VM) emitCharge(cat Category, acat attrib.Category, pc uint32, cycles float64) {
 	if v.pipelining {
-		v.ring.push(&traceRec{op: opCharge, cat: cat, c: cycles})
+		v.ring.push(&traceRec{op: opCharge, cat: cat, a: pc, u8: uint8(acat), c: cycles})
 		return
 	}
 	v.charge(cat, cycles)
+	if v.prof != nil {
+		v.prof.Charge(acat, pc, cycles)
+	}
 }
 
 func (v *VM) emitTouch(addr, size uint32, write bool) {
@@ -328,7 +375,11 @@ func (v *VM) emitSegInterp(n int) {
 		v.ring.push(&traceRec{op: opSegInterp, i1: int32(n)})
 		return
 	}
-	v.segInterp(n)
+	cost, stall := v.segInterpAt(n)
+	v.eng.AdvanceClock(cost)
+	if v.prof != nil {
+		v.prof.SpanDMiss(stall)
+	}
 }
 
 func (v *VM) emitCallout(chargeCost bool) {

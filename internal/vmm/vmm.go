@@ -5,6 +5,7 @@ import (
 
 	"codesignvm/internal/bbt"
 	"codesignvm/internal/obs"
+	"codesignvm/internal/obs/attrib"
 	"codesignvm/internal/profile"
 	"codesignvm/internal/sbt"
 	"codesignvm/internal/timing"
@@ -354,6 +355,12 @@ type Result struct {
 	// runs — including every determinism comparison — see exactly the
 	// pre-observability Result.
 	Metrics obs.Snapshot
+
+	// Attrib is the run's cycle-attribution snapshot (obs/attrib). It
+	// is nil unless the attached recorder carried an attribution
+	// profile (Observer.EnableAttrib); its categories sum exactly to
+	// Cycles.
+	Attrib *attrib.Snapshot
 }
 
 // IPC returns the aggregate x86 IPC of the run.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"codesignvm/internal/codecache"
+	"codesignvm/internal/obs/attrib"
 )
 
 // Persistent-translation warm start: instead of re-translating every
@@ -101,6 +102,9 @@ func (v *VM) Restore(snap *codecache.Snapshot) (int, error) {
 		// Restore runs before Run, so the pipeline is not live and the
 		// bulk restore cost is charged directly as VMM work.
 		v.charge(CatVMM, total)
+		if v.prof != nil {
+			v.prof.Charge(attrib.RestorePreload, 0, total)
+		}
 	}
 	if v.obs != nil {
 		v.obsRestore(preloaded, preloadedX86)
@@ -207,7 +211,7 @@ func (v *VM) warmFault(kind codecache.TransKind, pc uint32) *codecache.Translati
 		delete(pending, pc) // poisoned entry: never retry it
 		return nil
 	}
-	v.emitCharge(CatVMM, v.Cfg.RestoreFaultCycles+cost)
+	v.emitCharge(CatVMM, attrib.RestoreFault, pc, v.Cfg.RestoreFaultCycles+cost)
 	if v.obs != nil {
 		v.obsRestoreFault(t)
 	}

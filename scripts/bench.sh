@@ -3,15 +3,37 @@
 # smoke-tests at 1x (end-to-end Fig. 2, the warm-start sweep, BBT
 # translation, the dispatch loop, the observability modes, and the
 # job-service submission envelope) at real benchtime, and records the
-# results as BENCH_PR8.json (schema bench.v1, with host metadata) via
-# scripts/benchjson. Compare snapshots across PRs to catch hot-path
-# regressions; scripts/ci.sh validates the committed file's shape.
+# results as BENCH_PR<N>.json (schema bench.v1, with host metadata) via
+# scripts/benchjson. <N> defaults to one past the newest committed
+# snapshot, so each PR's run lands in a fresh file; committed snapshots
+# are history and the script refuses to overwrite them. Compare
+# snapshots with `benchjson -diff` or render the whole series with
+# `benchjson -trend`; scripts/ci.sh validates the committed files.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR8.json}"
+
+out="${1:-}"
+if [ -z "$out" ]; then
+	last=0
+	for f in BENCH_PR*.json; do
+		[ -e "$f" ] || continue
+		n="${f#BENCH_PR}"
+		n="${n%.json}"
+		case "$n" in
+		'' | *[!0-9]*) continue ;;
+		esac
+		[ "$n" -gt "$last" ] && last="$n"
+	done
+	out="BENCH_PR$((last + 1)).json"
+fi
+if git ls-files --error-unmatch "$out" >/dev/null 2>&1; then
+	echo "bench.sh: $out is a committed snapshot (history); pick a new output name" >&2
+	exit 1
+fi
+
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 

@@ -16,6 +16,19 @@
 // both files regressed its ns/op by more than PCT percent — the CI
 // perf gate. Wall-clock deltas are host-noise-sensitive; gate
 // thresholds should leave generous headroom (tens of percent).
+//
+// Trend: -trend FILE... renders the whole snapshot series (sorted by
+// the PR number in each filename) as one markdown table — ns/op per
+// snapshot plus the newest snapshot's delta against the series minimum
+// and against the median of the prior snapshots:
+//
+//	go run ./scripts/benchjson -trend BENCH_PR*.json > docs/BENCH_TREND.md
+//
+// With -fail-over PCT, -trend exits non-zero when some benchmark's
+// newest ns/op exceeds the median of its prior snapshots by more than
+// PCT percent — a cross-PR drift sentinel that catches slow regressions
+// the single-step -diff gate (which resets its baseline every PR)
+// would wave through.
 package main
 
 import (
@@ -25,7 +38,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -57,11 +72,27 @@ type bench struct {
 func main() {
 	check := flag.String("check", "", "validate this bench.v1 JSON file instead of converting")
 	diff := flag.Bool("diff", false, "diff two bench.v1 files given as arguments")
-	failOver := flag.Float64("fail-over", 0, "with -diff: exit non-zero if any ns/op regression exceeds this percentage")
+	trend := flag.Bool("trend", false, "render the bench.v1 files given as arguments as a cross-PR markdown trend table")
+	failOver := flag.Float64("fail-over", 0, "with -diff (or -trend): exit non-zero if any ns/op regression exceeds this percentage")
 	flag.Parse()
 	if *check != "" {
 		if err := checkFile(*check); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *trend {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -trend needs at least two bench.v1 files")
+			os.Exit(2)
+		}
+		ok, err := trendFiles(os.Stdout, flag.Args(), *failOver)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -208,6 +239,129 @@ func pct(oldV, newV float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// snapLabel derives a snapshot's column label from its filename:
+// "BENCH_PR9.json" → "PR9", anything else → the base name without the
+// .json extension.
+func snapLabel(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(base, "BENCH_")
+}
+
+// snapOrder extracts the PR sequence number from a snapshot filename
+// for sorting (-1 when there is none; those sort first, in argument
+// order).
+func snapOrder(path string) int {
+	label := snapLabel(path)
+	i := len(label)
+	for i > 0 && label[i-1] >= '0' && label[i-1] <= '9' {
+		i--
+	}
+	n, err := strconv.Atoi(label[i:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// median returns the median of vs (mean of the middle pair for even
+// lengths). vs must be non-empty; it is not modified.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// trendFiles renders the snapshot series as a markdown trend table:
+// one row per benchmark (union over all snapshots, sorted), one ns/op
+// column per snapshot in PR order, then the newest value's delta
+// against the series minimum and against the median of the *prior*
+// snapshots. Returns ok=false when failOver > 0 and some benchmark
+// with at least two data points regressed its newest ns/op more than
+// failOver percent over that prior median.
+func trendFiles(w io.Writer, paths []string, failOver float64) (bool, error) {
+	paths = append([]string(nil), paths...)
+	sort.SliceStable(paths, func(i, j int) bool { return snapOrder(paths[i]) < snapOrder(paths[j]) })
+	docs := make([]*doc, len(paths))
+	for i, p := range paths {
+		d, err := loadDoc(p)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", p, err)
+		}
+		docs[i] = d
+	}
+
+	series := map[string][]float64{} // name -> ns/op per snapshot (0 = absent)
+	var names []string
+	for i, d := range docs {
+		for _, b := range d.Benchmarks {
+			if _, seen := series[b.Name]; !seen {
+				series[b.Name] = make([]float64, len(docs))
+				names = append(names, b.Name)
+			}
+			series[b.Name][i] = b.NsPerOp
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# Benchmark trend\n\n")
+	fmt.Fprintf(w, "ns/op per committed snapshot (oldest → newest; generated by\n`go run ./scripts/benchjson -trend BENCH_PR*.json`). Δmin compares the\nnewest value against the series best; Δmedian against the median of\nthe prior snapshots — the drift the per-PR diff gate cannot see.\nWall-clock numbers are host-sensitive: compare shapes, not digits.\n\n")
+	fmt.Fprintf(w, "| benchmark |")
+	for _, p := range paths {
+		fmt.Fprintf(w, " %s |", snapLabel(p))
+	}
+	fmt.Fprintf(w, " Δmin | Δmedian |\n|---|")
+	for range paths {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintf(w, "---|---|\n")
+
+	ok := true
+	var failures []string
+	for _, name := range names {
+		vs := series[name]
+		fmt.Fprintf(w, "| %s |", name)
+		min, last := 0.0, 0.0
+		var prior []float64
+		for _, v := range vs {
+			if v == 0 {
+				fmt.Fprintf(w, " – |")
+				continue
+			}
+			fmt.Fprintf(w, " %.0f |", v)
+			if last > 0 {
+				prior = append(prior, last)
+			}
+			if min == 0 || v < min {
+				min = v
+			}
+			last = v
+		}
+		dMin, dMed := "–", "–"
+		if last > 0 && min > 0 {
+			dMin = pct(min, last)
+		}
+		if last > 0 && len(prior) > 0 {
+			med := median(prior)
+			dMed = pct(med, last)
+			if failOver > 0 && (last-med)/med*100 > failOver {
+				ok = false
+				dMed += " **REGRESSION**"
+				failures = append(failures, name)
+			}
+		}
+		fmt.Fprintf(w, " %s | %s |\n", dMin, dMed)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: ns/op drift over %.1f%% vs prior-median: %s\n",
+			failOver, strings.Join(failures, ", "))
+	}
+	return ok, nil
 }
 
 // diffFiles prints the per-benchmark delta table between two bench.v1

@@ -59,7 +59,7 @@ bbt_bop="$(go test -run '^$' -bench 'BBTTranslateHot' -benchmem -benchtime 100x 
 	awk '/BenchmarkBBTTranslateHot/ {for (i=1; i<NF; i++) if ($(i+1) == "B/op") print $i}')"
 [ -n "$bbt_bop" ]
 [ "$bbt_bop" -le 600 ] || { echo "BBT translate $bbt_bop B/op exceeds 600 B/op ceiling"; exit 1; }
-go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR7.json BENCH_PR8.json
+go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR8.json BENCH_PR9.json
 
 # Warm-start gate (persistent translation caches; DESIGN.md §10).
 # Four checks:
@@ -107,8 +107,21 @@ GOMAXPROCS=2 go test -race -count=1 -timeout 1800s -run 'TestGoldenReportsAcross
 go build -o "${TMPDIR:-/tmp}/obs-example.$$" ./examples/observability
 go build -o "${TMPDIR:-/tmp}/curves-example.$$" ./examples/startup_curves
 rm -f "${TMPDIR:-/tmp}/obs-example.$$" "${TMPDIR:-/tmp}/curves-example.$$"
-go test -count=1 -run 'Obs|HotPathAllocFree|Timeline|Trace' ./internal/vmm/ ./internal/obs/
+go test -count=1 -run 'Obs|HotPathAllocFree|Timeline|Trace|OpenMetrics|JSONL|Label' ./internal/vmm/ ./internal/obs/
 go test -run '^$' -bench 'ObsModes' -benchtime=1x ./internal/vmm/
+
+# Cycle-attribution gate (DESIGN.md §11). The attrib unit suite pins
+# the exact-sum reconciliation and the collapsed-stack/merge formats;
+# the vmm tests pin the invariant end-to-end (every strategy, warm
+# mode, and pipeline mode sums bit-for-bit to the run's cycles); the
+# phases golden pins the whole figure byte-identical across the four
+# host modes under race instrumentation on two procs. The disabled-
+# cost alloc half (TestAttribDisabledZeroAlloc) already rides the
+# ZeroAlloc gate above.
+go test -race -count=1 ./internal/obs/attrib/
+GOMAXPROCS=2 go test -race -count=1 -timeout 900s \
+	-run 'TestAttribExactSum|TestAttribPipelineBitIdentical|TestGoldenPhasesAcrossHostModes|TestPhasesFigInvariants|TestDefaultAttribSpec' \
+	./internal/vmm/ ./internal/experiments/
 
 # Live-introspection smoke: start a short sweep with -http on an
 # ephemeral port, then check /healthz answers and /metrics serves
@@ -172,8 +185,14 @@ kill -TERM "$serve_pid"
 wait "$serve_pid"
 rm -rf "$ci_tmp"
 
-# Bench snapshots: the committed BENCH_PR8.json (regenerated by
-# scripts/bench.sh) and the BENCH_PR7.json baseline it is diffed
-# against must stay well-formed bench.v1 JSON.
-go run ./scripts/benchjson -check BENCH_PR7.json
+# Bench snapshots: the committed BENCH_PR9.json (regenerated by
+# scripts/bench.sh) and the BENCH_PR8.json baseline it is diffed
+# against must stay well-formed bench.v1 JSON. The trend gate then
+# walks the whole committed series (docs/BENCH_TREND.md renders it):
+# the per-PR -diff above resets its baseline every PR, so N small
+# regressions compound invisibly; -trend compares the newest snapshot
+# against the median of the whole prior series and fails past 50%
+# (generous: cross-session wall clock on this host drifts ±10%).
 go run ./scripts/benchjson -check BENCH_PR8.json
+go run ./scripts/benchjson -check BENCH_PR9.json
+go run ./scripts/benchjson -trend -fail-over 50 BENCH_PR*.json > /dev/null

@@ -1,0 +1,320 @@
+// Package coordinator shards an experiment's (app × model × scale)
+// grid across N worker processes over the shared run store.
+//
+// The coordinator expands the experiment into work units
+// (experiments.ExpandUnits), spawns N workers (re-execs of vmsim in
+// -worker mode, built by the caller's Command seam so tests can
+// substitute the test binary), and lets the store's single-flight lock
+// protocol arbitrate unit ownership: each worker walks the unit list
+// starting at its own contiguous shard and wraps around, so a worker
+// that finishes early steals the stragglers' remaining units instead
+// of idling. A SIGKILLed worker's claims are requeued two ways — its
+// heartbeat-stale locks would be stolen eventually anyway, but the
+// coordinator reaps them by pid the moment it Wait()s on the corpse,
+// so recovery is bounded by process-exit detection, not the lockStale
+// window.
+//
+// Workers only fill the store; they never print report text. The
+// caller merges by running the experiment normally afterwards with the
+// same store — every cell hits, and the merged report is byte-identical
+// to the single-process sweep because it is produced by exactly the
+// same code path.
+package coordinator
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+
+	"codesignvm/internal/experiments"
+	"codesignvm/internal/obs"
+)
+
+// Worker-to-coordinator protocol: one line per lifecycle step on the
+// worker's stdout, "COORD"-prefixed so it survives mixing with any
+// other output. The coordinator parses these to attribute units to
+// shards; correctness never depends on them (the store markers are the
+// ground truth), so a torn line from a dying worker is harmless.
+const (
+	lineWorkerStart = "COORD WORKER %d START units=%d"
+	lineUnitDone    = "COORD UNIT %d DONE shard=%d"
+	lineUnitSkip    = "COORD UNIT %d SKIP shard=%d"
+	lineUnitFail    = "COORD UNIT %d FAIL shard=%d err=%v"
+)
+
+// Config parameterizes one distributed sweep.
+type Config struct {
+	// Exp is the experiment name; composites ("sweep", "all") expand.
+	Exp string
+	// App parameterizes the app-scoped extension experiments, exactly
+	// as vmsim's -app flag does (empty = "Word").
+	App string
+	// Opt are the experiment options. Opt.Store must name the shared
+	// store directory; Opt.Obs (optional) receives the coordinator's
+	// sweep.* counters and worker/unit lifecycle events.
+	Opt experiments.Options
+	// Workers is the number of worker processes to spawn (>= 1).
+	Workers int
+	// Command builds the shard'th worker process. The coordinator owns
+	// the returned command's Stdout (protocol pipe); the builder may
+	// set Stderr, environment and the argv (typically a re-exec of the
+	// running binary in -worker mode).
+	Command func(shard, workers int) *exec.Cmd
+	// Log receives human-readable progress lines; nil discards them.
+	Log io.Writer
+	// KillWorker, when >= 0, SIGKILLs that shard's process right after
+	// its first DONE line — the crash-recovery seam the CI gate and
+	// tests use to prove a dead worker's units are re-claimed. -1 (or
+	// any negative) disables.
+	KillWorker int
+}
+
+// Stats summarizes one distributed sweep.
+type Stats struct {
+	Units    int // work units expanded from the experiment
+	Done     int // units completed by workers this sweep
+	Skipped  int // units found already done (prior sweep or peer)
+	Stolen   int // units completed outside their worker's initial shard
+	Requeued int // dead workers' locks reaped by pid after Wait
+	Killed   int // workers SIGKILLed by the KillWorker seam
+	// WorkerErrs holds per-worker exit errors (excluding the seam
+	// kill). A failed worker is not fatal to the sweep: the merge pass
+	// re-simulates anything missing. Callers that want strictness can
+	// inspect it.
+	WorkerErrs []error
+}
+
+// Run executes one distributed sweep and blocks until every worker
+// has exited. It returns an error only for configuration mistakes or
+// total spawn failure; individual worker failures land in
+// Stats.WorkerErrs (the merge pass self-heals missing cells).
+func Run(cfg Config) (Stats, error) {
+	var st Stats
+	if cfg.Workers < 1 {
+		return st, fmt.Errorf("coordinator: Workers = %d, need >= 1", cfg.Workers)
+	}
+	if cfg.Opt.Store == "" {
+		return st, fmt.Errorf("coordinator: distributed sweep requires a store directory")
+	}
+	if cfg.Command == nil {
+		return st, fmt.Errorf("coordinator: no worker Command builder")
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	units := experiments.ExpandUnits(cfg.Exp, cfg.Opt, cfg.App)
+	st.Units = len(units)
+	o := cfg.Opt.Obs
+	if o != nil {
+		o.Proc.Counter("sweep.units_total", "units").Add(uint64(st.Units))
+		o.Proc.Counter("sweep.workers", "procs").Add(uint64(cfg.Workers))
+	}
+	if len(units) == 0 {
+		fmt.Fprintf(logw, "coordinator: %s expands to no simulation units; nothing to distribute\n", cfg.Exp)
+		return st, nil
+	}
+
+	var mu sync.Mutex // guards st and logw past this point
+	var wg sync.WaitGroup
+	spawned := 0
+	for shard := 0; shard < cfg.Workers; shard++ {
+		cmd := cfg.Command(shard, cfg.Workers)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return st, fmt.Errorf("coordinator: stdout pipe: %w", err)
+		}
+		if err := cmd.Start(); err != nil {
+			stdout.Close()
+			mu.Lock()
+			st.WorkerErrs = append(st.WorkerErrs, fmt.Errorf("worker %d: spawn: %w", shard, err))
+			mu.Unlock()
+			continue
+		}
+		spawned++
+		fmt.Fprintf(logw, "coordinator: worker %d spawned (pid %d)\n", shard, cmd.Process.Pid)
+		if o != nil {
+			o.Emit(obs.EvSweepWorker, cfg.Exp, 0, uint64(shard), 0, 0)
+		}
+		wg.Add(1)
+		go func(shard int, cmd *exec.Cmd, stdout io.ReadCloser) {
+			defer wg.Done()
+			killed := runShard(cfg, shard, units, cmd, stdout, &mu, &st, logw)
+			err := cmd.Wait()
+			phase := uint64(1)
+			mu.Lock()
+			if killed {
+				st.Killed++
+				phase = 3
+				fmt.Fprintf(logw, "coordinator: worker %d killed by seam\n", shard)
+			} else if err != nil {
+				st.WorkerErrs = append(st.WorkerErrs, fmt.Errorf("worker %d: %w", shard, err))
+				phase = 2
+				fmt.Fprintf(logw, "coordinator: worker %d failed: %v\n", shard, err)
+			}
+			mu.Unlock()
+			// The corpse's locks (unit claims and in-flight run locks)
+			// requeue immediately; survivors re-contend on their next
+			// poll instead of waiting out the staleness window.
+			if killed || err != nil {
+				if n := experiments.ReapDeadLocks(cfg.Opt.Store, cmd.Process.Pid); n > 0 {
+					mu.Lock()
+					st.Requeued += n
+					fmt.Fprintf(logw, "coordinator: reaped %d lock(s) of dead worker %d\n", n, shard)
+					mu.Unlock()
+					if o != nil {
+						o.Proc.Counter("sweep.units_requeued", "locks").Add(uint64(n))
+					}
+				}
+			}
+			if o != nil {
+				o.Emit(obs.EvSweepWorker, cfg.Exp, 0, uint64(shard), phase, 0)
+			}
+		}(shard, cmd, stdout)
+	}
+	wg.Wait()
+	if spawned == 0 {
+		return st, fmt.Errorf("coordinator: no worker could be spawned: %v", st.WorkerErrs)
+	}
+	if o != nil {
+		o.Proc.Counter("sweep.units_done", "units").Add(uint64(st.Done))
+		o.Proc.Counter("sweep.units_skipped", "units").Add(uint64(st.Skipped))
+		o.Proc.Counter("sweep.units_stolen", "units").Add(uint64(st.Stolen))
+	}
+	fmt.Fprintf(logw, "coordinator: %d units: %d done, %d skipped, %d stolen, %d requeued\n",
+		st.Units, st.Done, st.Skipped, st.Stolen, st.Requeued)
+	return st, nil
+}
+
+// runShard consumes one worker's protocol stream until EOF, updating
+// the shared stats. It reports whether the KillWorker seam fired for
+// this shard.
+func runShard(cfg Config, shard int, units []experiments.Unit, cmd *exec.Cmd, stdout io.ReadCloser, mu *sync.Mutex, st *Stats, logw io.Writer) (killed bool) {
+	o := cfg.Opt.Obs
+	nunits := len(units)
+	tag := func(idx int) string {
+		if idx >= 0 && idx < nunits {
+			return units[idx].String()
+		}
+		return fmt.Sprintf("unit#%d", idx)
+	}
+	// A worker's initial shard is the contiguous slice [lo, hi); units
+	// it completes outside that range were stolen from a straggler.
+	lo, hi := shard*nunits/cfg.Workers, (shard+1)*nunits/cfg.Workers
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "COORD ") {
+			continue
+		}
+		var idx, sh, n int
+		switch {
+		case scanLine(line, lineWorkerStart, &sh, &n):
+			fmt.Fprintf(logw, "coordinator: worker %d started: %d units\n", sh, n)
+		case scanLine(line, lineUnitDone, &idx, &sh):
+			stole := idx < lo || idx >= hi
+			mu.Lock()
+			st.Done++
+			if stole {
+				st.Stolen++
+			}
+			mu.Unlock()
+			if o != nil {
+				o.Emit(obs.EvSweepUnit, tag(idx), 0, uint64(shard), 0, boolU64(stole))
+			}
+			if !killed && shard == cfg.KillWorker {
+				// Crash seam: kill mid-sweep, after proving the worker
+				// made progress. Survivors must finish its units.
+				killed = true
+				cmd.Process.Kill()
+			}
+		case scanLine(line, lineUnitSkip, &idx, &sh):
+			mu.Lock()
+			st.Skipped++
+			mu.Unlock()
+			if o != nil {
+				o.Emit(obs.EvSweepUnit, tag(idx), 0, uint64(shard), 1, 0)
+			}
+		case strings.Contains(line, " FAIL "):
+			mu.Lock()
+			fmt.Fprintf(logw, "coordinator: %s\n", line)
+			mu.Unlock()
+			if o != nil {
+				o.Emit(obs.EvSweepUnit, line, 0, uint64(shard), 2, 0)
+			}
+		}
+	}
+	stdout.Close()
+	return killed
+}
+
+// scanLine is Sscanf with a full-match check: the line must consume
+// the whole format.
+func scanLine(line, format string, args ...any) bool {
+	n, err := fmt.Sscanf(line, format, args...)
+	return err == nil && n == len(args)
+}
+
+// RunWorker is the worker-process side: it walks the sweep's unit
+// list starting at its own shard and wrapping around (the work-stealing
+// walk), claims each not-yet-done unit through the store's lock
+// protocol, runs it, and publishes the done marker. Protocol lines go
+// to out (the coordinator's pipe). It returns the first unit error
+// (after attempting every unit — one bad unit must not strand the
+// rest of the shard).
+func RunWorker(shard, workers int, exp, app string, opt experiments.Options, out io.Writer) error {
+	if opt.Store == "" {
+		return fmt.Errorf("worker: requires a store directory")
+	}
+	if shard < 0 || workers < 1 || shard >= workers {
+		return fmt.Errorf("worker: bad shard %d/%d", shard, workers)
+	}
+	units := experiments.ExpandUnits(exp, opt, app)
+	fmt.Fprintf(out, lineWorkerStart+"\n", shard, len(units))
+	n := len(units)
+	if n == 0 {
+		return nil
+	}
+	var firstErr error
+	start := shard * n / workers
+	for j := 0; j < n; j++ {
+		idx := (start + j) % n
+		u := units[idx]
+		if experiments.UnitDone(opt, u) {
+			fmt.Fprintf(out, lineUnitSkip+"\n", idx, shard)
+			continue
+		}
+		release, done, err := experiments.AcquireUnit(opt, u)
+		if err != nil {
+			return err // context cancelled: the process is going down
+		}
+		if done {
+			fmt.Fprintf(out, lineUnitSkip+"\n", idx, shard)
+			continue
+		}
+		if err := experiments.RunUnit(u, opt); err != nil {
+			release()
+			fmt.Fprintf(out, lineUnitFail+"\n", idx, shard, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("unit %s: %w", u, err)
+			}
+			continue
+		}
+		if err := experiments.FinishUnit(opt, u); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("unit %s: publish marker: %w", u, err)
+		}
+		release()
+		fmt.Fprintf(out, lineUnitDone+"\n", idx, shard)
+	}
+	return firstErr
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,176 @@
+package coordinator
+
+// End-to-end tests of the distributed sweep: the parent re-execs this
+// test binary (os.Executable) with COORD_CHILD set, selecting
+// TestCoordWorkerChild, which runs the real RunWorker loop against a
+// shared store directory — the same pattern the storestress tests use
+// for the lock protocol. The assertions are the PR's contract: the
+// merged report is byte-identical to the single-process run, even when
+// a worker is SIGKILLed mid-sweep.
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"codesignvm/internal/experiments"
+	"codesignvm/internal/obs"
+)
+
+// testOpt is the shared grid shape: small enough that a full distributed
+// round-trip runs in a few seconds on one core, big enough to have
+// multiple units per worker.
+func testOpt(store string, apps ...string) experiments.Options {
+	return experiments.Options{
+		Scale:       500,
+		LongInstrs:  120_000,
+		ShortInstrs: 24_000,
+		Apps:        apps,
+		Store:       store,
+	}
+}
+
+// TestCoordWorkerChild is the re-exec entry point; a skip unless the
+// parent set COORD_CHILD.
+func TestCoordWorkerChild(t *testing.T) {
+	if os.Getenv("COORD_CHILD") == "" {
+		t.Skip("re-exec helper for the distributed-sweep tests")
+	}
+	shard, _ := strconv.Atoi(os.Getenv("COORD_SHARD"))
+	workers, _ := strconv.Atoi(os.Getenv("COORD_WORKERS"))
+	opt := testOpt(os.Getenv("COORD_STORE"), strings.Split(os.Getenv("COORD_APPS"), ",")...)
+	if err := RunWorker(shard, workers, os.Getenv("COORD_EXP"), "", opt, os.Stdout); err != nil {
+		t.Fatalf("worker %d/%d: %v", shard, workers, err)
+	}
+}
+
+// childCommand builds the Command seam: a re-exec of the test binary
+// as one worker shard.
+func childCommand(t *testing.T, exp, store, apps string) func(shard, workers int) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(shard, workers int) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "^TestCoordWorkerChild$")
+		cmd.Env = append(os.Environ(),
+			"COORD_CHILD=1",
+			"COORD_SHARD="+strconv.Itoa(shard),
+			"COORD_WORKERS="+strconv.Itoa(workers),
+			"COORD_EXP="+exp,
+			"COORD_STORE="+store,
+			"COORD_APPS="+apps,
+		)
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+}
+
+// merge runs the experiment in-process against the prefilled store and
+// returns the report plus the number of store hits it was served from.
+func merge(t *testing.T, exp, store, apps string) (string, uint64) {
+	t.Helper()
+	experiments.ResetRunCacheForTest()
+	o := obs.NewObserver(nil)
+	opt := testOpt(store, strings.Split(apps, ",")...)
+	opt.Obs = o
+	txt, err := experiments.RunExperiment(exp, opt, "")
+	if err != nil {
+		t.Fatalf("merge %s: %v", exp, err)
+	}
+	return txt, o.Proc.Counter("store.hits", "loads").Value()
+}
+
+// TestDistributedSweepByteIdentical: a 2-worker distributed prefill
+// plus merge must reproduce the single-process report byte-for-byte,
+// with the merge served from the store (not re-simulated).
+func TestDistributedSweepByteIdentical(t *testing.T) {
+	const exp, apps = "fig2", "Word,Excel"
+	store := t.TempDir()
+
+	// Single-process reference, no store involved.
+	experiments.ResetRunCacheForTest()
+	ref, err := experiments.RunExperiment(exp, testOpt("", strings.Split(apps, ",")...), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.NewObserver(nil)
+	opt := testOpt(store, strings.Split(apps, ",")...)
+	opt.Obs = o
+	st, err := Run(Config{
+		Exp:        exp,
+		Opt:        opt,
+		Workers:    2,
+		Command:    childCommand(t, exp, store, apps),
+		KillWorker: -1,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if len(st.WorkerErrs) > 0 {
+		t.Fatalf("worker errors: %v", st.WorkerErrs)
+	}
+	if st.Units != 2 || st.Done != 2 {
+		t.Fatalf("want 2 units all done, got %+v", st)
+	}
+	if got := o.Proc.Counter("sweep.units_total", "units").Value(); got != 2 {
+		t.Errorf("sweep.units_total = %d, want 2", got)
+	}
+
+	merged, hits := merge(t, exp, store, apps)
+	if merged != ref {
+		t.Errorf("merged report differs from single-process reference:\n--- ref\n%s\n--- merged\n%s", ref, merged)
+	}
+	if hits == 0 {
+		t.Error("merge pass had 0 store hits — it re-simulated instead of loading the workers' records")
+	}
+}
+
+// TestDistributedSweepSurvivesKill: SIGKILL one of two workers after
+// its first completed unit; the survivor must steal the corpse's
+// remaining units and the merged report must still be byte-identical.
+func TestDistributedSweepSurvivesKill(t *testing.T) {
+	const exp, apps = "fig2", "Word,Excel,Access,PowerPoint"
+	store := t.TempDir()
+
+	experiments.ResetRunCacheForTest()
+	ref, err := experiments.RunExperiment(exp, testOpt("", strings.Split(apps, ",")...), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Run(Config{
+		Exp:        exp,
+		Opt:        testOpt(store, strings.Split(apps, ",")...),
+		Workers:    2,
+		Command:    childCommand(t, exp, store, apps),
+		KillWorker: 0,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if st.Killed != 1 {
+		t.Fatalf("kill seam did not fire: %+v", st)
+	}
+
+	// Every unit must carry a done marker despite the kill: the
+	// survivor wrapped around and claimed the corpse's units.
+	opt := testOpt(store, strings.Split(apps, ",")...)
+	for _, u := range experiments.ExpandUnits(exp, opt, "") {
+		if !experiments.UnitDone(opt, u) {
+			t.Errorf("unit %s not completed after worker kill", u)
+		}
+	}
+
+	merged, hits := merge(t, exp, store, apps)
+	if merged != ref {
+		t.Errorf("post-kill merged report differs from reference:\n--- ref\n%s\n--- merged\n%s", ref, merged)
+	}
+	if hits == 0 {
+		t.Error("merge pass had 0 store hits after kill recovery")
+	}
+}

@@ -130,8 +130,21 @@ type runStore struct {
 	ctx context.Context
 }
 
-// storeGCDone gates the once-per-process-per-directory GC sweep.
-var storeGCDone sync.Map // dir -> *sync.Once
+// storeGCDone gates the once-per-process-per-directory GC sweep. Keys
+// are canonical absolute paths (canonicalStoreDir), never the raw
+// Options.Store spelling: relative vs absolute (or trailing-slash)
+// spellings of one directory must share a single gate, or two
+// concurrent GC sweeps race over the same files.
+var storeGCDone sync.Map // canonical dir -> *sync.Once
+
+// canonicalStoreDir resolves a store-directory spelling to the one
+// gate key all aliases of the directory share.
+func canonicalStoreDir(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return filepath.Clean(dir)
+}
 
 // store builds the runStore handle for these options, or nil when
 // persistence is disabled. The first handle per directory (with the
@@ -149,7 +162,7 @@ func (o Options) store() *runStore {
 	}
 	if s.fs == nil {
 		s.fs = faultfs.Disk{}
-		once, _ := storeGCDone.LoadOrStore(o.Store, new(sync.Once))
+		once, _ := storeGCDone.LoadOrStore(canonicalStoreDir(o.Store), new(sync.Once))
 		once.(*sync.Once).Do(s.gc)
 	}
 	return s
@@ -447,20 +460,31 @@ func (s *runStore) steal(lock, key string, st os.FileInfo) bool {
 // gc sweeps the store directory: orphaned temp files and steal debris
 // past gcTmpAge are removed, stale locks are stolen (same arbitration
 // as waiters use), and when a size cap is set, least-recently-used
-// records are evicted until the store fits. One sweep runs per process
-// per directory, at first use; it is advisory and every step is
-// best-effort.
+// record *groups* are evicted until the store fits. One sweep runs per
+// process per directory, at first use; it is advisory and every step
+// is best-effort.
+//
+// Eviction is per key, never per file: a run record and its sibling
+// artifacts (the <key>.ccvm warm-start snapshot, a .bad quarantine, a
+// .unit done marker) leave or stay together, so GC can never orphan a
+// snapshot whose run record is gone (or vice versa). A key whose .lock
+// is currently live (mtime within lockStale — a heartbeating owner) is
+// skipped entirely: GC must not delete a record out from under an
+// in-flight writer or a waiter about to load it.
 func (s *runStore) gc() {
 	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
-	type record struct {
-		path  string
-		size  int64
-		atime time.Time
+	type group struct {
+		key   string
+		paths []string
+		sizes []int64
+		total int64
+		atime time.Time // newest member access time: one hot file keeps its siblings
 	}
-	var records []record
+	groups := map[string]*group{}
+	live := map[string]bool{} // keys with a live (non-stale) lock
 	var total int64
 	removed, evicted := 0, 0
 	now := time.Now()
@@ -493,29 +517,57 @@ func (s *runStore) gc() {
 				}
 			}
 		case strings.HasSuffix(name, ".lock"):
+			key := strings.TrimSuffix(name, ".lock")
 			if age > s.tun.lockStale {
-				key := strings.TrimSuffix(name, ".lock")
 				if s.steal(path, key, fi) {
 					removed++
 				}
+			} else {
+				live[key] = true
 			}
 		case strings.HasSuffix(name, ".run") || strings.HasSuffix(name, ".bad") ||
-			strings.HasSuffix(name, ".ccvm"):
-			records = append(records, record{path, fi.Size(), fi.ModTime()})
+			strings.HasSuffix(name, ".ccvm") || strings.HasSuffix(name, ".unit"):
+			key := name[:strings.LastIndexByte(name, '.')]
+			g := groups[key]
+			if g == nil {
+				g = &group{key: key}
+				groups[key] = g
+			}
+			g.paths = append(g.paths, path)
+			g.sizes = append(g.sizes, fi.Size())
+			g.total += fi.Size()
+			if fi.ModTime().After(g.atime) {
+				g.atime = fi.ModTime()
+			}
 			total += fi.Size()
 		}
 	}
 	if s.tun.maxBytes > 0 && total > s.tun.maxBytes {
-		// Evict by access time (maintained by load's explicit touch, so
-		// this is LRU even on noatime mounts), oldest first.
-		sort.Slice(records, func(i, j int) bool { return records[i].atime.Before(records[j].atime) })
-		for _, r := range records {
+		// Evict whole key groups by access time (maintained by load's
+		// explicit touch, so this is LRU even on noatime mounts),
+		// oldest group first; ties break on key for determinism.
+		ordered := make([]*group, 0, len(groups))
+		for _, g := range groups {
+			ordered = append(ordered, g)
+		}
+		sort.Slice(ordered, func(i, j int) bool {
+			if !ordered[i].atime.Equal(ordered[j].atime) {
+				return ordered[i].atime.Before(ordered[j].atime)
+			}
+			return ordered[i].key < ordered[j].key
+		})
+		for _, g := range ordered {
 			if total <= s.tun.maxBytes {
 				break
 			}
-			if s.fs.Remove(r.path) == nil {
-				total -= r.size
-				evicted++
+			if live[g.key] {
+				continue // in-flight key: never evict under a live lock
+			}
+			for i, p := range g.paths {
+				if s.fs.Remove(p) == nil {
+					total -= g.sizes[i]
+					evicted++
+				}
 			}
 		}
 		storeGCEvictions.Add(uint64(evicted))

@@ -336,6 +336,138 @@ func TestRunStoreGCSweep(t *testing.T) {
 	}
 }
 
+// TestRunStoreGCPairedEviction: the size cap evicts whole key groups —
+// a run record leaves together with its sibling snapshot and unit
+// marker, so GC can never orphan a .ccvm whose .run is gone (or vice
+// versa). One hot member protects the whole group.
+func TestRunStoreGCPairedEviction(t *testing.T) {
+	s := testStore(t)
+	rec := encodeResult(sampleResult())
+	older := time.Now().Add(-20 * s.tun.gcTmpAge)
+
+	mk := func(name string, mtime time.Time, data []byte) string {
+		t.Helper()
+		path := filepath.Join(s.dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Cold group: record + snapshot + unit marker, all stale.
+	coldRun := mk("cold.run", older, rec)
+	coldSnap := mk("cold.ccvm", older, []byte("snapshot payload")) // sibling artifact
+	coldUnit := mk("cold.unit", older, []byte("unit fig2/Word\n"))
+	// Hot group: stale record whose snapshot was touched just now — the
+	// fresh member must keep its stale sibling alive (group atime is the
+	// newest member's).
+	hotRun := mk("hot.run", older, rec)
+	hotSnap := mk("hot.ccvm", time.Now(), []byte("snapshot payload"))
+
+	// Cap fits the hot group only.
+	s.tun.maxBytes = int64(len(rec) + 32)
+	s.gc()
+
+	for _, gone := range []string{coldRun, coldSnap, coldUnit} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("GC left %s: the cold group must be evicted whole", filepath.Base(gone))
+		}
+	}
+	for _, kept := range []string{hotRun, hotSnap} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Errorf("GC evicted %s: one fresh member must keep its group: %v", filepath.Base(kept), err)
+		}
+	}
+}
+
+// TestRunStoreGCSkipsLockedKeys: a key whose lock is live (heartbeat
+// mtime inside the staleness window) is never evicted, no matter the
+// size pressure; once the lock goes stale, the same sweep steals it
+// and the group becomes evictable.
+func TestRunStoreGCSkipsLockedKeys(t *testing.T) {
+	s := testStore(t)
+	rec := encodeResult(sampleResult())
+	older := time.Now().Add(-20 * s.tun.gcTmpAge)
+
+	run := filepath.Join(s.dir, "busy.run")
+	snap := filepath.Join(s.dir, "busy.ccvm")
+	lock := filepath.Join(s.dir, "busy.lock")
+	for _, f := range []struct {
+		path string
+		data []byte
+	}{{run, rec}, {snap, []byte("snapshot payload")}} {
+		if err := os.WriteFile(f.path, f.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(f.path, older, older); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Live lock: an in-flight writer/reader owns this key right now.
+	if err := os.WriteFile(lock, []byte("pid 1 seq 1 t 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s.tun.maxBytes = 1 // everything is over budget
+	s.gc()
+	for _, kept := range []string{run, snap} {
+		if _, err := os.Stat(kept); err != nil {
+			t.Fatalf("GC evicted %s out from under a live lock: %v", filepath.Base(kept), err)
+		}
+	}
+
+	// The owner dies: its heartbeat stops and the lock ages out. Now
+	// the sweep reclaims everything — lock and group.
+	stale := time.Now().Add(-2 * s.tun.lockStale)
+	if err := os.Chtimes(lock, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	s.gc()
+	for _, gone := range []string{run, snap, lock} {
+		if _, err := os.Stat(gone); !os.IsNotExist(err) {
+			t.Errorf("GC left %s after the lock went stale", filepath.Base(gone))
+		}
+	}
+}
+
+// TestRunStoreGCGateAliases: the once-per-process GC gate keys on the
+// canonical absolute path, so differently spelled paths of one
+// directory share a single sweep instead of racing two.
+func TestRunStoreGCGateAliases(t *testing.T) {
+	dir := t.TempDir()
+	seed := func() string {
+		t.Helper()
+		debris := filepath.Join(dir, "zzz.tmp1")
+		if err := os.WriteFile(debris, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(-2 * defaultTuning.gcTmpAge)
+		if err := os.Chtimes(debris, old, old); err != nil {
+			t.Fatal(err)
+		}
+		return debris
+	}
+
+	debris := seed()
+	Options{Store: dir}.store()
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatal("first store() did not sweep")
+	}
+
+	// Aliased spellings of the same directory: trailing slash and a
+	// redundant "." component. Neither may sweep again.
+	debris = seed()
+	for _, alias := range []string{dir + string(filepath.Separator), filepath.Join(dir, ".") + string(filepath.Separator)} {
+		Options{Store: alias}.store()
+		if _, err := os.Stat(debris); err != nil {
+			t.Fatalf("aliased spelling %q ran a second GC sweep", alias)
+		}
+	}
+}
+
 // TestRunStoreGCRunsOncePerDir: Options.store() triggers exactly one GC
 // sweep per directory per process (via storeGCDone), and only with the
 // default filesystem seam.

@@ -78,8 +78,42 @@ func TestRunStoreStressChild(t *testing.T) {
 			fmt.Println("OUTCOME: LOADED")
 			return
 		}
-		// We are the single flight. Signal the parent (so it can kill us
-		// here), "simulate" for the hold time, publish, release.
+		// We are the single flight. Two shapes:
+		//
+		// Default: signal the parent (so it can kill us here), "simulate"
+		// for the hold time, publish, release.
+		//
+		// RUNSTORE_HOLD_AFTER_SAVE: publish the record AND a sibling
+		// snapshot first, signal the parent, then keep the lock (still
+		// heartbeating) until the release file appears — the window in
+		// which the parent hammers GC to prove a live-locked key's
+		// artifacts are never evicted.
+		if os.Getenv("RUNSTORE_HOLD_AFTER_SAVE") != "" {
+			if err := s.save(key, sampleResult()); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			if err := s.saveSnapshot(key, []byte("stress sibling snapshot payload")); err != nil {
+				t.Fatalf("saveSnapshot: %v", err)
+			}
+			if owner := os.Getenv("RUNSTORE_OWNER_FILE"); owner != "" {
+				if err := os.WriteFile(owner, []byte(strconv.Itoa(os.Getpid())), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			relFile := os.Getenv("RUNSTORE_RELEASE_FILE")
+			for deadline := time.Now().Add(30 * time.Second); ; {
+				if _, err := os.Stat(relFile); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("release file never appeared")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			release()
+			fmt.Println("OUTCOME: SIMULATED")
+			return
+		}
 		if owner := os.Getenv("RUNSTORE_OWNER_FILE"); owner != "" {
 			if err := os.WriteFile(owner, []byte(strconv.Itoa(os.Getpid())), 0o644); err != nil {
 				t.Fatal(err)
@@ -240,6 +274,129 @@ func TestRunStoreMultiProcessKillSteal(t *testing.T) {
 	s := &runStore{dir: dir, fs: faultfs.Disk{}, tun: stressTuning(), ctx: context.Background()}
 	if res, err := s.load(key); res == nil || err != nil {
 		t.Fatalf("published record unreadable after steal: (%v, %v)", res, err)
+	}
+}
+
+// TestRunStoreGCRacesLiveActivity: a GC sweep (size cap 1 byte, so it
+// wants to evict everything) hammers the store while a separate process
+// holds the key's lock with its record and snapshot already published,
+// and waiters are loading them. The live-lock skip must keep both
+// artifacts untouched for the whole window, the waiters must all load,
+// and the record bytes must be unchanged by the final sweep.
+func TestRunStoreGCRacesLiveActivity(t *testing.T) {
+	dir := t.TempDir()
+	key := "stress-gc-live"
+	side := t.TempDir()
+	ownerFile := filepath.Join(side, "owner.pid")
+	releaseFile := filepath.Join(side, "release")
+
+	// The holder: publishes record + snapshot, then keeps the lock
+	// (heartbeating) until we write the release file.
+	holder := stressChild(t, dir, key, 0,
+		"RUNSTORE_OWNER_FILE="+ownerFile,
+		"RUNSTORE_HOLD_AFTER_SAVE=1",
+		"RUNSTORE_RELEASE_FILE="+releaseFile,
+	)
+	holderOut := &strings.Builder{}
+	holder.Stdout, holder.Stderr = holderOut, holderOut
+	if err := holder.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ownerFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			holder.Process.Kill()
+			holder.Wait()
+			t.Fatal("holder never published + took the lock")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Concurrent waiters: they see the published record and load it
+	// while the lock is still held. Started only after the holder
+	// signalled ownership — any earlier and one of them could win the
+	// acquire race instead, publish, and send the holder down its
+	// LOADED path without ever taking the lock.
+	const waiters = 3
+	cmds := make([]*exec.Cmd, waiters)
+	outs := make([]string, waiters)
+	for i := range cmds {
+		cmds[i] = stressChild(t, dir, key, 50)
+		outb := &strings.Builder{}
+		cmds[i].Stdout, cmds[i].Stderr = outb, outb
+		if err := cmds[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hammer GC while the lock is live. The 1-byte cap makes every key
+	// over budget, so only the live-lock skip stands between the
+	// holder's artifacts and eviction.
+	tun := stressTuning()
+	tun.maxBytes = 1
+	gcs := &runStore{dir: dir, fs: faultfs.Disk{}, tun: tun, ctx: context.Background()}
+	for i := 0; i < 20; i++ {
+		gcs.gc()
+		if _, err := os.Stat(gcs.runPath(key)); err != nil {
+			t.Fatalf("GC sweep %d evicted the live-locked record: %v", i, err)
+		}
+		if _, err := os.Stat(gcs.snapPath(key)); err != nil {
+			t.Fatalf("GC sweep %d evicted the live-locked snapshot: %v", i, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	before, err := os.ReadFile(gcs.runPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the holder finish; every process must exit clean.
+	if err := os.WriteFile(releaseFile, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Wait(); err != nil {
+		t.Fatalf("holder failed: %v\n%s", err, holderOut.String())
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("waiter %d failed: %v\n%s", i, err, cmd.Stdout.(*strings.Builder).String())
+		}
+		outs[i] = cmd.Stdout.(*strings.Builder).String()
+	}
+	simulated, loaded := countOutcomes(append(outs, holderOut.String()))
+	if simulated != 1 || loaded != waiters {
+		t.Fatalf("want 1 simulated / %d loaded, got %d / %d", waiters, simulated, loaded)
+	}
+	assertStoreClean(t, dir)
+
+	// Final sweep with no size pressure: nothing to evict, record bytes
+	// unchanged.
+	tun.maxBytes = 0
+	(&runStore{dir: dir, fs: faultfs.Disk{}, tun: tun, ctx: context.Background()}).gc()
+	after, err := os.ReadFile(gcs.runPath(key))
+	if err != nil {
+		t.Fatalf("record gone after final sweep: %v", err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("record bytes changed across the final GC sweep")
+	}
+	s := &runStore{dir: dir, fs: faultfs.Disk{}, tun: stressTuning(), ctx: context.Background()}
+	if res, err := s.load(key); res == nil || err != nil {
+		t.Fatalf("published record unreadable after GC racing: (%v, %v)", res, err)
+	}
+
+	// Once the lock is gone, the same cap evicts the whole key group —
+	// record and snapshot leave together, never one without the other.
+	tun.maxBytes = 1
+	(&runStore{dir: dir, fs: faultfs.Disk{}, tun: tun, ctx: context.Background()}).gc()
+	_, runErr := os.Stat(gcs.runPath(key))
+	_, snapErr := os.Stat(gcs.snapPath(key))
+	if runErr == nil || snapErr == nil {
+		t.Fatalf("unlocked over-budget key not fully evicted: run=%v snap=%v", runErr, snapErr)
 	}
 }
 

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -322,7 +323,7 @@ func TestServiceMetricsAndEvents(t *testing.T) {
 	m := newTestManager(t, Config{Workers: 1, QueueDepth: 1, Runner: r, Obs: o})
 	j, _, _ := m.Submit(Spec{Exp: "fig2", Force: true})
 	<-started
-	m.Submit(Spec{Exp: "fig2", Force: true})                        // queued
+	m.Submit(Spec{Exp: "fig2", Force: true})                                                  // queued
 	if _, _, err := m.Submit(Spec{Exp: "fig2", Force: true}); !errors.Is(err, ErrQueueFull) { // rejected
 		t.Fatalf("want ErrQueueFull, got %v", err)
 	}
@@ -388,5 +389,35 @@ func TestRateLimiter(t *testing.T) {
 	var nilL *RateLimiter
 	if ok, _ := nilL.Allow("x"); !ok {
 		t.Fatal("nil limiter should allow")
+	}
+}
+
+// TestRateLimiterBoundedUnderUniqueKeys: a stream of distinct client
+// keys that never trips the reject path must not grow the bucket table
+// without bound — the accept path prunes amortized, so the table stays
+// around the number of clients still refilling, not the number ever
+// seen.
+func TestRateLimiterBoundedUnderUniqueKeys(t *testing.T) {
+	l := NewRateLimiter(1000, 2) // refill is fast: an idle bucket is full again in 2ms
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	maxBuckets := 0
+	for i := 0; i < 10_000; i++ {
+		now = now.Add(10 * time.Millisecond) // every earlier bucket has long refilled
+		ok, _ := l.Allow(fmt.Sprintf("client-%d", i))
+		if !ok {
+			t.Fatalf("request %d rejected: this workload must never hit the reject path", i)
+		}
+		l.mu.Lock()
+		if n := len(l.buckets); n > maxBuckets {
+			maxBuckets = n
+		}
+		l.mu.Unlock()
+	}
+	// The table may grow up to one prune interval of fresh buckets
+	// (plus the kept caller bucket), never toward the 10k keys seen.
+	if maxBuckets > pruneEvery+1 {
+		t.Fatalf("bucket table peaked at %d entries (prune interval %d): accept-path prune not bounding it", maxBuckets, pruneEvery)
 	}
 }

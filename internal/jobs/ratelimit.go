@@ -17,8 +17,18 @@ type RateLimiter struct {
 
 	mu      sync.Mutex
 	buckets map[string]*bucket
+	accepts int              // accepts since the last prune, for amortized pruning
 	now     func() time.Time // test seam
 }
+
+// pruneEvery is how many accepted Allows may pass between opportunistic
+// prunes, and pruneHighWater forces an immediate prune regardless of
+// the accept counter. Together they bound the bucket table even when a
+// stream of distinct client keys never trips the reject path.
+const (
+	pruneEvery     = 64
+	pruneHighWater = 1024
+)
 
 type bucket struct {
 	tokens float64
@@ -54,18 +64,29 @@ func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
 	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
+		// Amortized prune: without it, distinct keys that never hit the
+		// reject path would each leak a full-and-idle bucket forever.
+		l.accepts++
+		if l.accepts >= pruneEvery || len(l.buckets) > pruneHighWater {
+			l.pruneLocked(now, b)
+			l.accepts = 0
+		}
 		return true, 0
 	}
-	l.pruneLocked(now)
+	l.pruneLocked(now, b)
 	need := (1 - b.tokens) / l.rate
 	return false, time.Duration(need * float64(time.Second))
 }
 
 // pruneLocked drops buckets that have refilled to full — clients no
-// longer exerting pressure — bounding the table. Called only on the
-// reject path, so steady-state accepts never pay for it.
-func (l *RateLimiter) pruneLocked(now time.Time) {
+// longer exerting pressure — bounding the table. Called on every
+// reject and amortized over accepts; keep (the caller's bucket, which
+// was just debited) is never dropped so its state survives the sweep.
+func (l *RateLimiter) pruneLocked(now time.Time, keep *bucket) {
 	for k, b := range l.buckets {
+		if b == keep {
+			continue
+		}
 		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
 			delete(l.buckets, k)
 		}

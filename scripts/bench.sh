@@ -44,6 +44,25 @@ trap 'rm -f "$tmp"' EXIT
 	go test -run '^$' -bench 'JobSubmission' -benchmem -benchtime 200ms -count 1 ./internal/jobs/
 } | tee "$tmp"
 
+# Distributed-sweep scaling curve: wall-clock the cold scale-25 sweep at
+# worker counts 1/2/4/8, each against a fresh store, and record the
+# timings as synthetic one-iteration benchmark lines so the snapshot
+# (and benchjson -trend) carries the curve alongside the micro-benches.
+# On a single-core host this measures coordination overhead, not
+# speedup — see EXPERIMENTS.md "PR 10".
+bench_tmp="$(mktemp -d)"
+go build -o "$bench_tmp/vmsim" ./cmd/vmsim
+for n in 1 2 4 8; do
+	mkdir -p "$bench_tmp/store$n"
+	start_ns="$(date +%s%N)"
+	"$bench_tmp/vmsim" -exp sweep -scale 25 -workers "$n" \
+		-store "$bench_tmp/store$n" >/dev/null 2>&1
+	end_ns="$(date +%s%N)"
+	printf 'BenchmarkDistSweep/workers=%d 1 %d ns/op\n' \
+		"$n" "$((end_ns - start_ns))" | tee -a "$tmp"
+done
+rm -rf "$bench_tmp"
+
 go run ./scripts/benchjson < "$tmp" > "$out"
 go run ./scripts/benchjson -check "$out"
 echo "wrote $out"

@@ -59,7 +59,7 @@ bbt_bop="$(go test -run '^$' -bench 'BBTTranslateHot' -benchmem -benchtime 100x 
 	awk '/BenchmarkBBTTranslateHot/ {for (i=1; i<NF; i++) if ($(i+1) == "B/op") print $i}')"
 [ -n "$bbt_bop" ]
 [ "$bbt_bop" -le 600 ] || { echo "BBT translate $bbt_bop B/op exceeds 600 B/op ceiling"; exit 1; }
-go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR8.json BENCH_PR9.json
+go run ./scripts/benchjson -diff -fail-over 50 BENCH_PR9.json BENCH_PR10.json
 
 # Warm-start gate (persistent translation caches; DESIGN.md §10).
 # Four checks:
@@ -183,6 +183,28 @@ curl -fsS "http://$addr/metrics" | grep -q '^codesignvm_jobs_done_total 1'
 # SIGTERM must drain gracefully (exit 0), not kill accepted work.
 kill -TERM "$serve_pid"
 wait "$serve_pid"
+
+# Distributed-sweep gate (docs/ARCHITECTURE.md): the golden sweep run
+# with -workers 4 over a fresh store must merge byte-identical to the
+# single-process output (wall-clock timing lines stripped), and it must
+# stay byte-identical when one worker is SIGKILLed after its first
+# completed unit (VMSIM_COORD_KILL_WORKER — the coordinator's crash
+# seam): the survivors steal the corpse's units through the store's
+# lock protocol, so the merge still finds every record.
+"$ci_tmp/vmsim" -exp sweep -scale 400 2>/dev/null |
+	sed '/^\[.* completed in .*\]$/d' > "$ci_tmp/sweep.single.txt"
+mkdir -p "$ci_tmp/dist4"
+"$ci_tmp/vmsim" -exp sweep -scale 400 -workers 4 -store "$ci_tmp/dist4" \
+	2>"$ci_tmp/dist4.log" |
+	sed '/^\[.* completed in .*\]$/d' > "$ci_tmp/sweep.dist4.txt"
+diff "$ci_tmp/sweep.single.txt" "$ci_tmp/sweep.dist4.txt"
+grep -q '^coordinator: .* units: .* done' "$ci_tmp/dist4.log"
+mkdir -p "$ci_tmp/distkill"
+VMSIM_COORD_KILL_WORKER=1 "$ci_tmp/vmsim" -exp sweep -scale 400 -workers 4 \
+	-store "$ci_tmp/distkill" 2>"$ci_tmp/distkill.log" |
+	sed '/^\[.* completed in .*\]$/d' > "$ci_tmp/sweep.distkill.txt"
+diff "$ci_tmp/sweep.single.txt" "$ci_tmp/sweep.distkill.txt"
+grep -q '^coordinator: worker 1 killed by seam$' "$ci_tmp/distkill.log"
 rm -rf "$ci_tmp"
 
 # Bench snapshots: the committed BENCH_PR9.json (regenerated by
@@ -193,6 +215,6 @@ rm -rf "$ci_tmp"
 # regressions compound invisibly; -trend compares the newest snapshot
 # against the median of the whole prior series and fails past 50%
 # (generous: cross-session wall clock on this host drifts ±10%).
-go run ./scripts/benchjson -check BENCH_PR8.json
 go run ./scripts/benchjson -check BENCH_PR9.json
+go run ./scripts/benchjson -check BENCH_PR10.json
 go run ./scripts/benchjson -trend -fail-over 50 BENCH_PR*.json > /dev/null
